@@ -1,0 +1,6 @@
+"""Benchmark harness package (one module per paper figure/table).
+
+The ``__init__`` exists so ``pytest benchmarks/`` (without ``python -m``)
+resolves the ``benchmarks.conftest`` imports regardless of how sys.path
+was set up.
+"""

@@ -1,0 +1,60 @@
+"""EXTRA — Skolem-engine scaling study (not a paper artifact).
+
+Compares the three elimination-flavoured approaches on the 2-QBF special
+case the paper's §2/§3 discuss: expression-based functional composition
+(Jiang), BDD-based elimination (Fried–Tabajara–Vardi lineage), and
+Manthan3's data-driven loop — on parity specifications of growing
+width, the canonical case where expression composition blows up while
+BDDs stay linear.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro import Manthan3, Manthan3Config, Status
+from repro.baselines import BDDSynthesizer, SkolemCompositionSynthesizer
+from repro.dqbf import skolem_instance
+from repro.formula.cnf import CNF
+from repro.sampling.xor import add_parity_constraint
+
+
+def parity_instance(width):
+    """∀x1..xn ∃y (+aux): y ↔ x1 ⊕ … ⊕ xn."""
+    cnf = CNF(num_vars=width + 1)
+    add_parity_constraint(cnf, list(range(1, width + 2)), False)
+    existentials = [width + 1] + list(range(width + 2, cnf.num_vars + 1))
+    return skolem_instance(list(range(1, width + 1)), existentials, cnf,
+                           name="parity_w%d" % width)
+
+
+ENGINES = {
+    "composition": lambda: SkolemCompositionSynthesizer(),
+    "bdd": lambda: BDDSynthesizer(),
+    "manthan3": lambda: Manthan3(Manthan3Config(seed=0)),
+}
+
+
+@pytest.mark.parametrize("engine_name", sorted(ENGINES))
+def test_skolem_parity_scaling(engine_name, benchmark):
+    engine = ENGINES[engine_name]()
+    widths = (4, 8, 12)
+
+    def run_all():
+        out = []
+        for width in widths:
+            out.append((width, engine.run(parity_instance(width),
+                                          timeout=10)))
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = ["EXTRA (Skolem parity scaling): engine %s" % engine_name]
+    solved = 0
+    for width, result in results:
+        solved += result.status == Status.SYNTHESIZED
+        lines.append("  width %-3d %-12s %.3f s" % (
+            width, result.status, result.stats.get("wall_time", 0.0)))
+    write_result("skolem_scaling_%s.txt" % engine_name, lines)
+
+    if engine_name == "bdd":
+        assert solved == len(widths), "BDD elimination must scale here"

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Mini evaluation campaign: regenerate the paper's §6 analysis.
+
+Runs the three engines over the smoke suite and prints the Virtual Best
+Synthesizer analysis of the paper — solved counts, the VBS improvement
+from adding Manthan3 (Figure 6's claim), unique solves, and the fastest-
+tool table.  The full-scale version of this pipeline lives in
+``benchmarks/``; this example keeps the suite tiny so it finishes in
+about a minute.
+
+Run:  python examples/portfolio_study.py
+"""
+
+from repro import (
+    ExpansionSynthesizer,
+    Manthan3,
+    Manthan3Config,
+    PedantLikeSynthesizer,
+)
+from repro.benchgen import build_suite
+from repro.portfolio import (
+    fastest_counts,
+    run_portfolio,
+    solved_counts,
+    unique_solves,
+    vbs_times,
+)
+
+TIMEOUT = 8.0
+
+
+def main():
+    suite = build_suite("smoke", seed=1)
+    print("suite of %d instances:" % len(suite))
+    for inst in suite:
+        stats = inst.stats()
+        print("  %-38s |X|=%-3d |Y|=%-3d clauses=%d" % (
+            stats["name"], stats["universals"], stats["existentials"],
+            stats["clauses"]))
+
+    engines = [Manthan3(Manthan3Config(seed=0)),
+               ExpansionSynthesizer(),
+               PedantLikeSynthesizer()]
+    print("\nrunning %d engine×instance pairs (timeout %.0f s) ..."
+          % (len(suite) * len(engines), TIMEOUT))
+    table = run_portfolio(
+        suite, engines, timeout=TIMEOUT,
+        progress=lambda r: print("  %-10s %-38s %-12s %6.2f s" % (
+            r.engine, r.instance, r.status, r.time)))
+
+    print("\n--- solved counts (paper: HQS2 148 / Pedant 138 / "
+          "Manthan3 116 of 563) ---")
+    for engine, count in sorted(solved_counts(table).items()):
+        print("  %-10s %d / %d" % (engine, count, len(suite)))
+
+    without = vbs_times(table, ["expansion", "pedant"])
+    with_m3 = vbs_times(table, ["manthan3", "expansion", "pedant"])
+    print("\n--- VBS (paper: 178 -> 204, +26) ---")
+    print("  VBS(baselines)  solves %d" % len(without))
+    print("  VBS(+Manthan3)  solves %d  (+%d)" % (
+        len(with_m3), len(with_m3) - len(without)))
+
+    uniques = unique_solves(table, "manthan3", ["expansion", "pedant"])
+    print("\n--- only Manthan3 (paper: 26 instances) ---")
+    for name in uniques:
+        print("  " + name)
+    if not uniques:
+        print("  (none on this tiny suite — try the small suite)")
+
+    print("\n--- fastest engine per instance (paper: Manthan3 "
+          "fastest on 42) ---")
+    for engine, count in sorted(fastest_counts(table).items()):
+        print("  %-10s fastest on %d" % (engine, count))
+
+
+if __name__ == "__main__":
+    main()

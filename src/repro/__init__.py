@@ -1,0 +1,54 @@
+"""repro — Manthan3 reproduction: *Synthesis with Explicit Dependencies*.
+
+A pure-Python reproduction of the DATE 2023 paper's Henkin-function
+synthesis system, including every substrate the original delegates to
+external tools (SAT, MaxSAT, sampling, decision trees, definition
+extraction) and the baselines it evaluates against.
+
+Quickstart::
+
+    from repro import parse_dqdimacs, synthesize, check_henkin_vector
+
+    instance = parse_dqdimacs(open("problem.dqdimacs").read())
+    result = synthesize(instance, timeout=60)
+    if result.synthesized:
+        assert check_henkin_vector(instance, result.functions).valid
+"""
+
+from repro.core import Manthan3, Manthan3Config, SynthesisResult, Status, \
+    synthesize
+from repro.baselines import (
+    ExpansionSynthesizer,
+    PedantLikeSynthesizer,
+    SkolemCompositionSynthesizer,
+)
+from repro.dqbf import DQBFInstance, check_henkin_vector, skolem_instance
+from repro.parsing import (
+    parse_dqdimacs,
+    parse_dqdimacs_file,
+    parse_qdimacs,
+    write_dqdimacs,
+    write_qdimacs,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Manthan3",
+    "Manthan3Config",
+    "SynthesisResult",
+    "Status",
+    "synthesize",
+    "ExpansionSynthesizer",
+    "PedantLikeSynthesizer",
+    "SkolemCompositionSynthesizer",
+    "DQBFInstance",
+    "skolem_instance",
+    "check_henkin_vector",
+    "parse_dqdimacs",
+    "parse_dqdimacs_file",
+    "parse_qdimacs",
+    "write_dqdimacs",
+    "write_qdimacs",
+    "__version__",
+]

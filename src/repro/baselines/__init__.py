@@ -1,0 +1,30 @@
+"""Baseline Henkin synthesizers the paper compares against.
+
+* :class:`~repro.baselines.expansion.ExpansionSynthesizer` — stands in
+  for **HQS2** (Gitina et al., DATE 2015; Wimmer et al.): quantifier
+  elimination by universal expansion.  Our variant instantiates every
+  clause over the universals it (transitively) depends on, solves the
+  resulting SAT formula, and reads Henkin functions straight off the
+  model as truth tables.  Complete, but exponential in dependency-set
+  width — the same failure mode as elimination-based solvers.
+* :class:`~repro.baselines.pedant_like.PedantLikeSynthesizer` — stands in
+  for **Pedant** (Reichl, Slivovsky, Szeider, SAT 2021): definition
+  extraction for uniquely defined outputs plus *arbiter* variables for
+  the rest, refined by a counterexample-guided loop.  Certifying by
+  construction; strong when most outputs are (nearly) defined.
+* :class:`~repro.baselines.skolem.SkolemCompositionSynthesizer` — the
+  classical self-substitution synthesizer for the 2-QBF special case
+  (§2/§3 context; used by tests and the Skolem example).
+"""
+
+from repro.baselines.bdd_synthesis import BDDSynthesizer
+from repro.baselines.expansion import ExpansionSynthesizer
+from repro.baselines.pedant_like import PedantLikeSynthesizer
+from repro.baselines.skolem import SkolemCompositionSynthesizer
+
+__all__ = [
+    "BDDSynthesizer",
+    "ExpansionSynthesizer",
+    "PedantLikeSynthesizer",
+    "SkolemCompositionSynthesizer",
+]

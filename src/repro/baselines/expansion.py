@@ -1,0 +1,173 @@
+"""Universal-expansion Henkin synthesis (the HQS2 stand-in).
+
+A DQBF ``∀X ∃^H Y. ϕ`` is True iff the *expansion* SAT formula
+
+    ⋀_{α ∈ 2^X} ϕ(α, y_1^{α|H1}, …, y_m^{α|Hm})
+
+is satisfiable, where ``y_i^β`` is one fresh variable per restriction of
+α to ``H_i`` — and a satisfying assignment of the expansion *is* the
+Henkin function vector, one truth-table row per copy.  Expanding clause
+by clause keeps this tractable: a clause only needs instantiating over
+the universals it touches, ``R_C = (X ∩ C) ∪ ⋃_{y∈C} H_y`` (local
+universal expansion, Fröhlich et al., cited as [14] in the paper).
+
+Blow-up is guarded twice (per-clause width, total instantiation count);
+exceeding a guard returns ``UNKNOWN`` — the analogue of HQS2 running out
+of memory on wide dependency sets.
+"""
+
+from repro.core.result import SynthesisResult, Status
+from repro.formula.cnf import CNF, lit_var, lit_sign
+from repro.formula.minimize import table_to_expr
+from repro.sat.solver import Solver, SAT, UNSAT
+from repro.utils.errors import ResourceBudgetExceeded
+from repro.utils.timer import Deadline, Stopwatch
+
+
+class ExpansionSynthesizer:
+    """Clause-local universal expansion to SAT, then table read-off.
+
+    Parameters
+    ----------
+    max_clause_bits:
+        A clause whose relevant-universal set exceeds this width aborts
+        the expansion (UNKNOWN).
+    max_total_clauses:
+        Cap on the number of instantiated clauses.
+    """
+
+    name = "expansion"
+
+    def __init__(self, max_clause_bits=18, max_total_clauses=200_000,
+                 max_enumeration_rows=400_000, seed=None):
+        self.max_clause_bits = max_clause_bits
+        self.max_total_clauses = max_total_clauses
+        self.max_enumeration_rows = max_enumeration_rows
+        self.seed = seed
+
+    def run(self, instance, timeout=None):
+        deadline = Deadline(timeout)
+        stopwatch = Stopwatch().start()
+        stats = {}
+        try:
+            verdict, expansion, copy_vars, reason = self._expand(
+                instance, deadline, stats)
+            if verdict == Status.FALSE:
+                stats["wall_time"] = stopwatch.stop()
+                return SynthesisResult(Status.FALSE, stats=stats,
+                                       reason=reason)
+            if verdict == Status.UNKNOWN:
+                stats["wall_time"] = stopwatch.stop()
+                return SynthesisResult(Status.UNKNOWN, stats=stats,
+                                       reason=reason)
+            solver = Solver(expansion, rng=self.seed)
+            status = solver.solve(deadline=deadline)
+            if status == UNSAT:
+                stats["wall_time"] = stopwatch.stop()
+                return SynthesisResult(Status.FALSE, stats=stats,
+                                       reason="expansion is unsatisfiable")
+            if status != SAT:
+                raise ResourceBudgetExceeded("expansion SAT budget")
+            functions = self._read_functions(instance, copy_vars,
+                                             solver.model)
+            stats["wall_time"] = stopwatch.stop()
+            return SynthesisResult(Status.SYNTHESIZED, functions=functions,
+                                   stats=stats)
+        except ResourceBudgetExceeded:
+            stats["wall_time"] = stopwatch.stop()
+            return SynthesisResult(Status.TIMEOUT, stats=stats,
+                                   reason="budget exhausted")
+
+    # ------------------------------------------------------------------
+    def _expand(self, instance, deadline, stats):
+        """Build the expansion CNF.
+
+        Returns ``(verdict, cnf, copies, reason)`` where ``verdict`` is
+        ``None`` on success, ``Status.UNKNOWN`` when a guard tripped, and
+        ``Status.FALSE`` when a pure-universal clause is falsifiable.
+
+        ``copies[y]`` maps a tuple of (sorted-H) values to the SAT
+        variable standing for that truth-table row of ``f_y``.
+        """
+        x_set = set(instance.universals)
+        deps_sorted = {y: sorted(h) for y, h in instance.dependencies.items()}
+        expansion = CNF()
+        copies = {y: {} for y in instance.existentials}
+
+        def copy_var(y, alpha):
+            """Variable for row ``alpha`` (dict over H_y) of ``f_y``."""
+            key = tuple(alpha[x] for x in deps_sorted[y])
+            var = copies[y].get(key)
+            if var is None:
+                var = expansion.fresh_var()
+                copies[y][key] = var
+            return var
+
+        total = 0
+        rows_done = 0
+        for clause in instance.matrix:
+            relevant = set()
+            y_lits = []
+            x_lits = []
+            for l in clause:
+                v = lit_var(l)
+                if v in x_set:
+                    relevant.add(v)
+                    x_lits.append(l)
+                else:
+                    relevant |= instance.dependencies[v]
+                    y_lits.append(l)
+            relevant = sorted(relevant)
+            if len(relevant) > self.max_clause_bits:
+                return (Status.UNKNOWN, None, None,
+                        "clause touches %d universals (> %d guard)"
+                        % (len(relevant), self.max_clause_bits))
+            # Cheap a-priori size estimate (HQS-style memory guard): the
+            # copies that survive X-literal simplification are exactly
+            # those falsifying every X literal of the clause.
+            x_vars_here = {lit_var(l) for l in x_lits}
+            predicted = 1 << (len(relevant) - len(x_vars_here))
+            if total + predicted > self.max_total_clauses:
+                return (Status.UNKNOWN, None, None,
+                        "expansion would exceed %d clauses"
+                        % self.max_total_clauses)
+            rows_done += 1 << len(relevant)
+            if rows_done > self.max_enumeration_rows:
+                return (Status.UNKNOWN, None, None,
+                        "expansion enumeration would exceed %d rows"
+                        % self.max_enumeration_rows)
+            for row in range(1 << len(relevant)):
+                if deadline is not None and (row & 1023) == 0:
+                    deadline.check()
+                alpha = {relevant[i]: bool((row >> i) & 1)
+                         for i in range(len(relevant))}
+                # X literals satisfied by α make this copy vacuous.
+                if any(alpha[lit_var(l)] == lit_sign(l) for l in x_lits):
+                    continue
+                inst_clause = [copy_var(lit_var(l), alpha)
+                               * (1 if lit_sign(l) else -1)
+                               for l in y_lits]
+                if not inst_clause:
+                    return (Status.FALSE, None, None,
+                            "pure-universal clause is falsifiable")
+                expansion.add_clause(inst_clause)
+                total += 1
+                if total > self.max_total_clauses:
+                    return (Status.UNKNOWN, None, None,
+                            "expansion exceeds %d clauses"
+                            % self.max_total_clauses)
+        stats["expansion_clauses"] = total
+        stats["expansion_vars"] = expansion.num_vars
+        return None, expansion, copies, ""
+
+    def _read_functions(self, instance, copies, model):
+        """Truth tables from the model, minimized to DNF expressions."""
+        functions = {}
+        for y in instance.existentials:
+            deps = sorted(instance.dependencies[y])
+            table = {}
+            for key, var in copies[y].items():
+                row = sum(1 << i for i, bit in enumerate(key) if bit)
+                table[row] = model[var]
+            functions[y] = table_to_expr(table, deps)
+        return functions

@@ -1,0 +1,118 @@
+"""Skolem synthesis by functional composition (2-QBF special case).
+
+The classical self-substitution construction (Jiang 2009, cited as [27]):
+processing ``y_m, …, y_1`` in turn,
+
+    f_i := ϕ_i|_{y_i = 1}          (over X and y_1 … y_{i-1})
+    ϕ_{i-1} := ϕ_i|_{y_i=0} ∨ ϕ_i|_{y_i=1}      (∃-elimination)
+
+then back-substituting so every function mentions only X.  If the input
+2-QBF is True, the result is a Skolem vector; if not, ϕ_0 is not a
+tautology and the final validity check reports False.
+
+Handles plain Skolem instances (every ``H_i = X``).  Nested (chain)
+dependency instances are accepted too when processing in dependency order
+keeps each function inside its Henkin set; otherwise UNKNOWN.  Formula
+size doubles per elimination, so a DAG-size guard maps blow-up to
+UNKNOWN.  This engine exists for the paper's §2/§3 context (Skolem
+synthesis as the earliest special case) and as a test oracle.
+"""
+
+from repro.core.result import SynthesisResult, Status
+from repro.formula import boolfunc as bf
+from repro.formula.boolfunc import cnf_to_expr
+from repro.formula.tseitin import expr_to_cnf
+from repro.sat.solver import Solver, SAT, UNSAT
+from repro.utils.errors import ResourceBudgetExceeded
+from repro.utils.timer import Deadline, Stopwatch
+
+
+class SkolemCompositionSynthesizer:
+    """Quantifier elimination via functional composition."""
+
+    name = "skolem-composition"
+
+    def __init__(self, max_dag_size=200_000, seed=None):
+        self.max_dag_size = max_dag_size
+        self.seed = seed
+
+    def run(self, instance, timeout=None):
+        deadline = Deadline(timeout)
+        stopwatch = Stopwatch().start()
+        stats = {}
+        try:
+            result = self._run(instance, deadline, stats)
+        except ResourceBudgetExceeded:
+            result = SynthesisResult(Status.TIMEOUT, stats=stats,
+                                     reason="budget exhausted")
+        result.stats["wall_time"] = stopwatch.stop()
+        return result
+
+    def _run(self, instance, deadline, stats):
+        order = self._elimination_order(instance)
+        if order is None:
+            return SynthesisResult(
+                Status.UNKNOWN, stats=stats,
+                reason="dependency sets are not a chain; composition "
+                       "does not apply")
+
+        phi = cnf_to_expr(instance.matrix)
+        functions = {}
+        # Eliminate the most-dependent variable first.
+        for y in reversed(order):
+            deadline.check()
+            functions[y] = phi.cofactor(y, True)
+            phi = bf.or_(phi.cofactor(y, False), functions[y])
+            if phi.dag_size() > self.max_dag_size:
+                return SynthesisResult(
+                    Status.UNKNOWN, stats=stats,
+                    reason="composition blow-up (> %d nodes)"
+                    % self.max_dag_size)
+
+        # ϕ_0 over X must be a tautology for the instance to be True.
+        check_cnf, out_lit = expr_to_cnf(bf.not_(phi),
+                                         num_vars=instance.matrix.num_vars)
+        check_cnf.add_unit(out_lit)
+        solver = Solver(check_cnf, rng=self.seed)
+        status = solver.solve(deadline=deadline)
+        if status == SAT:
+            return SynthesisResult(Status.FALSE, stats=stats,
+                                   reason="∃Y ϕ is not valid over X")
+        if status != UNSAT:
+            raise ResourceBudgetExceeded("validity SAT budget")
+
+        # Back-substitute so each f_i mentions only earlier variables.
+        final = {}
+        for y in order:
+            expr = functions[y]
+            y_refs = expr.support() & set(instance.existentials)
+            if y_refs:
+                expr = expr.substitute({r: final[r] for r in y_refs})
+            final[y] = expr
+            if expr.dag_size() > self.max_dag_size:
+                return SynthesisResult(
+                    Status.UNKNOWN, stats=stats,
+                    reason="substitution blow-up (> %d nodes)"
+                    % self.max_dag_size)
+            illegal = expr.support() - instance.dependencies[y]
+            if illegal:
+                return SynthesisResult(
+                    Status.UNKNOWN, stats=stats,
+                    reason="composed function escapes dependency set")
+        stats["dag_sizes"] = {y: final[y].dag_size() for y in final}
+        return SynthesisResult(Status.SYNTHESIZED, functions=final,
+                               stats=stats)
+
+    @staticmethod
+    def _elimination_order(instance):
+        """Existentials sorted so dependency sets form an inclusion chain
+        (``H_{o1} ⊆ H_{o2} ⊆ …``); ``None`` when no chain exists."""
+        order = sorted(instance.existentials,
+                       key=lambda y: len(instance.dependencies[y]))
+        previous = None
+        for y in order:
+            deps = instance.dependencies[y]
+            if previous is not None and not (previous <= deps):
+                return None
+            previous = deps
+        return order

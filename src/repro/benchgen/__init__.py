@@ -1,0 +1,53 @@
+"""Synthetic DQBF benchmark families.
+
+The paper evaluates on 563 QBFEval'18–20 DQBF-track instances drawn from
+partial equivalence checking, controller synthesis, and succinct DQBF
+encodings of propositional satisfiability.  Those files are not
+redistributable/reachable offline, so this package generates seeded
+synthetic instances of the same application families (plus two stress
+families), each with knobs spanning easy → timeout:
+
+* :mod:`repro.benchgen.pec` — partial equivalence checking: golden
+  circuit vs implementation with missing boxes of limited observability;
+* :mod:`repro.benchgen.controller` — one-step safety controller
+  synthesis under partial observation;
+* :mod:`repro.benchgen.succinct_sat` — succinct DQBF encodings of SAT
+  (single-variable dependency sets force constant functions);
+* :mod:`repro.benchgen.planted` — random matrices with planted Henkin
+  functions over wide dependency sets (expansion-hostile);
+* :mod:`repro.benchgen.xor_chain` — staggered-window XOR/equality chains
+  generalizing the paper's §5 incompleteness example (Manthan3-hostile).
+
+:func:`~repro.benchgen.suite.build_suite` assembles the mixed evaluation
+suite used by every figure/table benchmark.
+"""
+
+from repro.benchgen.arithmetic import (
+    generate_adder_pec_instance,
+    generate_comparator_instance,
+)
+from repro.benchgen.circuits import random_circuit_expr, encode_circuit
+from repro.benchgen.pec import generate_pec_instance
+from repro.benchgen.controller import generate_controller_instance
+from repro.benchgen.succinct_sat import generate_succinct_sat_instance
+from repro.benchgen.planted import generate_planted_instance
+from repro.benchgen.xor_chain import (
+    generate_coupled_xor_instance,
+    generate_xor_chain_instance,
+)
+from repro.benchgen.suite import build_suite, SUITE_SIZES
+
+__all__ = [
+    "generate_adder_pec_instance",
+    "generate_comparator_instance",
+    "random_circuit_expr",
+    "encode_circuit",
+    "generate_pec_instance",
+    "generate_controller_instance",
+    "generate_succinct_sat_instance",
+    "generate_planted_instance",
+    "generate_xor_chain_instance",
+    "generate_coupled_xor_instance",
+    "build_suite",
+    "SUITE_SIZES",
+]

@@ -1,0 +1,127 @@
+"""Arithmetic-circuit PEC instances: ripple-carry adders, comparators.
+
+The equivalence-checking instances in QBFEval's DQBF track come from
+real netlists; this module contributes structured (non-random)
+circuits so the suite is not purely random logic:
+
+* :func:`generate_adder_pec_instance` — golden N-bit ripple-carry adder;
+  the implementation has one full-adder stage replaced by two black
+  boxes (sum and carry-out) observing that stage's input cone.
+* :func:`generate_comparator_instance` — golden unsigned comparator
+  ``A < B``; the implementation is a single box observing all inputs
+  (uniquely defined ⇒ a natural definition-extraction workload).
+"""
+
+from repro.benchgen.circuits import encode_circuit
+from repro.dqbf.instance import DQBFInstance
+from repro.formula import boolfunc as bf
+from repro.formula.cnf import CNF
+from repro.utils.rng import make_rng
+
+
+def ripple_carry_adder(a_vars, b_vars, carry_in=None):
+    """Sum/carry expressions of a ripple-carry adder.
+
+    Returns ``(sum_exprs, carry_out_expr)`` for the bit lists (LSB
+    first).
+    """
+    carry = carry_in if carry_in is not None else bf.FALSE
+    sums = []
+    for a, b in zip(a_vars, b_vars):
+        av, bv = bf.var(a), bf.var(b)
+        sums.append(bf.xor(av, bv, carry))
+        carry = bf.or_(bf.and_(av, bv),
+                       bf.and_(bf.xor(av, bv), carry))
+    return sums, carry
+
+
+def less_than(a_vars, b_vars):
+    """Expression for unsigned ``A < B`` (bit lists LSB first)."""
+    result = bf.FALSE
+    for a, b in zip(a_vars, b_vars):  # LSB → MSB: later bits dominate
+        av, bv = bf.var(a), bf.var(b)
+        result = bf.or_(bf.and_(bf.not_(av), bv),
+                        bf.and_(bf.iff(av, bv), result))
+    return result
+
+
+def generate_adder_pec_instance(bits=3, boxed_stage=None, realizable=True,
+                                seed=None, name=None):
+    """PEC instance: N-bit adder with one boxed full-adder stage.
+
+    The boxes observe the input cone of their stage: bits ``0..k`` of
+    both operands.  With ``realizable=False`` the cone loses its least
+    significant bit, which makes the carry-in unobservable and the
+    instance (generically) False.
+    """
+    rng = make_rng(seed)
+    if boxed_stage is None:
+        boxed_stage = rng.randrange(bits)
+    a_vars = list(range(1, bits + 1))
+    b_vars = list(range(bits + 1, 2 * bits + 1))
+    inputs = a_vars + b_vars
+
+    golden_sums, golden_carry = ripple_carry_adder(a_vars, b_vars)
+    golden_outputs = golden_sums + [golden_carry]
+
+    cnf = CNF(num_vars=2 * bits)
+    sum_box = cnf.fresh_var()
+    carry_box = cnf.fresh_var()
+    cone = a_vars[:boxed_stage + 1] + b_vars[:boxed_stage + 1]
+    if not realizable and len(cone) > 2:
+        cone = cone[1:]  # drop a0: carry-in becomes unobservable
+    dependencies = {sum_box: sorted(cone), carry_box: sorted(cone)}
+
+    # Rebuild the adder with stage `boxed_stage` replaced by the boxes.
+    carry = bf.FALSE
+    impl_outputs = []
+    for i in range(bits):
+        av, bv = bf.var(a_vars[i]), bf.var(b_vars[i])
+        if i == boxed_stage:
+            impl_outputs.append(bf.var(sum_box))
+            carry = bf.var(carry_box)
+        else:
+            impl_outputs.append(bf.xor(av, bv, carry))
+            carry = bf.or_(bf.and_(av, bv),
+                           bf.and_(bf.xor(av, bv), carry))
+    impl_outputs.append(carry)
+
+    encoding = encode_circuit(cnf, golden_outputs + impl_outputs)
+    half = len(golden_outputs)
+    for g, i in zip(encoding.output_lits[:half],
+                    encoding.output_lits[half:]):
+        cnf.add_clause((-g, i))
+        cnf.add_clause((g, -i))
+    for aux in encoding.aux_vars:
+        dependencies[aux] = list(inputs)
+
+    name = name or "adder_b%d_st%d_%s_s%s" % (
+        bits, boxed_stage, "sat" if realizable else "unsat", seed)
+    return DQBFInstance(inputs, dependencies, cnf, name=name)
+
+
+def generate_comparator_instance(bits=4, seed=None, name=None):
+    """Defined-PEC instance: a boxed unsigned comparator ``A < B``.
+
+    The box observes all ``2·bits`` inputs and is forced by the miter to
+    equal the golden comparator — uniquely defined, so definition
+    extraction recovers it in one shot while data-driven learning must
+    approximate a threshold function.
+    """
+    a_vars = list(range(1, bits + 1))
+    b_vars = list(range(bits + 1, 2 * bits + 1))
+    inputs = a_vars + b_vars
+    golden = less_than(a_vars, b_vars)
+
+    cnf = CNF(num_vars=2 * bits)
+    box = cnf.fresh_var()
+    dependencies = {box: list(inputs)}
+    encoding = encode_circuit(cnf, [golden])
+    g = encoding.output_lits[0]
+    cnf.add_clause((-g, box))
+    cnf.add_clause((g, -box))
+    for aux in encoding.aux_vars:
+        dependencies[aux] = list(inputs)
+
+    name = name or "cmp_b%d_s%s" % (bits, seed)
+    return DQBFInstance(inputs, dependencies, cnf, name=name)

@@ -1,0 +1,88 @@
+"""Random combinational circuits as Boolean expression DAGs.
+
+Shared infrastructure for the PEC and controller families: generate a
+random multi-level circuit over given input variables, and Tseitin-encode
+expression outputs into a CNF while exposing the auxiliary gate variables
+(the encodings' existential bookkeeping needs them).
+"""
+
+from repro.formula import boolfunc as bf
+from repro.formula.tseitin import TseitinEncoder
+
+
+def random_circuit_expr(inputs, depth, rng, fanin=2):
+    """One random expression of roughly the given depth over ``inputs``.
+
+    Gates are drawn from AND/OR/XOR with random input negations; at depth
+    0 a random input literal is returned.
+    """
+    if depth <= 0 or len(inputs) == 0:
+        v = rng.choice(inputs)
+        leaf = bf.var(v)
+        return bf.not_(leaf) if rng.random() < 0.5 else leaf
+    op = rng.choice((bf.and_, bf.or_, bf.xor))
+    children = [random_circuit_expr(inputs, depth - 1 - rng.randrange(2),
+                                    rng, fanin=fanin)
+                for _ in range(fanin)]
+    expr = op(*children)
+    if expr.is_const() or expr.is_var():
+        # Simplification collapsed the gate; retry with a literal mix to
+        # keep the circuit non-degenerate.
+        v = rng.choice(inputs)
+        expr = op(bf.var(v), *children) if not expr.is_const() else bf.var(v)
+    return expr
+
+
+def wide_support_expr(inputs, rng, xor_bias=0.5):
+    """A random expression whose support covers (nearly) all ``inputs``.
+
+    Builds a balanced binary tree over a shuffled copy of the inputs so
+    that structural simplification cannot collapse the support; the gate
+    mix is biased toward XOR, which makes the function hard to
+    approximate from samples (the decision-tree worst case) while staying
+    trivial to tabulate.
+    """
+    leaves = [bf.var(v) if rng.random() < 0.5 else bf.not_(bf.var(v))
+              for v in inputs]
+    rng.shuffle(leaves)
+    level = leaves
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            if rng.random() < xor_bias:
+                gate = bf.xor(level[i], level[i + 1])
+            else:
+                gate = rng.choice((bf.and_, bf.or_))(level[i], level[i + 1])
+            nxt.append(gate)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+class CircuitEncoding:
+    """Result of Tseitin-encoding circuit outputs into a CNF.
+
+    ``output_lits[k]`` is the literal equivalent to output expression k;
+    ``aux_vars`` lists the fresh gate variables the encoder introduced
+    (callers declare them as existentials with the appropriate
+    dependency sets).
+    """
+
+    def __init__(self, cnf, output_lits, aux_vars):
+        self.cnf = cnf
+        self.output_lits = output_lits
+        self.aux_vars = aux_vars
+
+
+def encode_circuit(cnf, outputs):
+    """Tseitin-encode ``outputs`` (expressions) into ``cnf``.
+
+    Returns a :class:`CircuitEncoding`; gate variables are allocated from
+    ``cnf`` and reported in allocation order.
+    """
+    before = cnf.num_vars
+    encoder = TseitinEncoder(cnf)
+    output_lits = [encoder.encode(expr) for expr in outputs]
+    aux_vars = list(range(before + 1, cnf.num_vars + 1))
+    return CircuitEncoding(cnf, output_lits, aux_vars)

@@ -1,0 +1,84 @@
+"""One-step safety controller synthesis under partial observation.
+
+The DQBF controller-synthesis encoding (Bloem et al., VMCAI 2014 — [9]
+in the paper): state bits S and disturbance bits W are universal; control
+bits U are existential, each observing only a window of the state
+(partial observation = Henkin dependencies).  The one-step safety game
+
+    ∀S, W ∃^{obs} U .  Safe(S) → Safe(S′(S, U, W))
+
+is True iff a (memoryless, partially informed) controller exists.
+
+Construction plants a winning controller: each next-state bit is
+
+    s′_i = safe-shape_i(S)  ⊕  (w_{d(i)} ∧ hazard_i(S))  ⊕  u_{c(i)}-term
+
+where the control term can cancel the hazard exactly when its
+observation window covers the hazard's support.  ``observable=True``
+grants that window (True instance); ``observable=False`` narrows one
+window below the hazard support (usually False/hard).
+"""
+
+from repro.benchgen.circuits import random_circuit_expr, encode_circuit
+from repro.dqbf.instance import DQBFInstance
+from repro.formula import boolfunc as bf
+from repro.formula.cnf import CNF
+from repro.utils.rng import make_rng
+
+
+def generate_controller_instance(num_state=4, num_disturbance=2,
+                                 num_controls=2, hazard_depth=2,
+                                 observable=True, seed=None, name=None):
+    """Build one controller-synthesis instance.
+
+    The safety invariant is ``Safe(S) = ¬(s_1 ∧ … ∧ s_k)`` ("not all
+    error latches set"); next-state functions mix hazards the controller
+    must cancel.
+    """
+    rng = make_rng(seed)
+    states = list(range(1, num_state + 1))
+    disturbances = list(range(num_state + 1, num_state + num_disturbance + 1))
+    universals = states + disturbances
+
+    cnf = CNF(num_vars=len(universals))
+    controls = cnf.extend_vars(num_controls)
+    dependencies = {}
+
+    hazards = []
+    for i, u in enumerate(controls):
+        hazard = random_circuit_expr(states, hazard_depth, rng)
+        w = disturbances[i % num_disturbance] if disturbances else None
+        hazard_term = bf.and_(bf.var(w), hazard) if w else hazard
+        hazards.append(hazard_term)
+        window = sorted(hazard.support())
+        if w is not None:
+            window.append(w)
+        if not observable and window:
+            window.remove(rng.choice(window))
+        dependencies[u] = sorted(set(window))
+
+    # Next-state bits: hazard (possibly disturbed) XOR its control bit —
+    # the controller keeps s'_i low by mirroring the hazard.
+    next_state = []
+    for i in range(num_state):
+        if i < num_controls:
+            expr = bf.xor(hazards[i], bf.var(controls[i]))
+        else:
+            # Uncontrolled latches get benign next-state logic.
+            expr = bf.and_(bf.var(states[i]),
+                           random_circuit_expr(states, 1, rng))
+        next_state.append(expr)
+
+    safe_now = bf.not_(bf.and_(*[bf.var(s) for s in states]))
+    safe_next = bf.not_(bf.and_(*next_state))
+    spec = bf.or_(bf.not_(safe_now), safe_next)
+
+    encoding = encode_circuit(cnf, [spec])
+    cnf.add_unit(encoding.output_lits[0])
+    for aux in encoding.aux_vars:
+        dependencies[aux] = list(universals)
+
+    name = name or "ctrl_s%d_w%d_u%d_%s_s%s" % (
+        num_state, num_disturbance, num_controls,
+        "obs" if observable else "blind", seed)
+    return DQBFInstance(universals, dependencies, cnf, name=name)

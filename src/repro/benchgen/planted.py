@@ -1,0 +1,73 @@
+"""Random DQBF with planted *region rules* over wide dependency sets.
+
+The family where the data-driven approach shines and both baselines
+struggle, mirroring the 26 instances only Manthan3 solves in the paper:
+
+* every clause is an implication ``region → (y = v)`` where ``region`` is
+  a small cube over a fixed selector subset ``S_y ⊆ H_y`` — so the
+  matrix *forces* each output on the covered regions and leaves it free
+  elsewhere;
+* dependency sets are wide (default 18), so clause-local universal
+  expansion needs ``2^{|H_y|−|region|}`` copies per clause and trips its
+  size guards;
+* outputs are not uniquely defined over ``H_y`` (region coverage has
+  gaps and ``|H_y|`` exceeds tabulation caps), so definition extraction
+  yields nothing and arbiter refinement must discover the rules row by
+  row;
+* decision trees, in contrast, recover the selector structure from
+  samples in one shot, and every counterexample's UNSAT core *is* a
+  region cube, so repair converges in a handful of iterations.
+
+Instances are True by construction (the rules are consistent because the
+regions for one output are mutually disjoint cubes over its selector).
+"""
+
+from repro.dqbf.instance import DQBFInstance
+from repro.formula.cnf import CNF
+from repro.utils.rng import make_rng
+
+
+def generate_planted_instance(num_universals=20, num_existentials=4,
+                              dep_width=18, region_width=3,
+                              rules_per_y=6, seed=None, name=None):
+    """Build one region-rule instance (True by construction).
+
+    Parameters
+    ----------
+    num_universals / num_existentials:
+        Sizes of X and Y.
+    dep_width:
+        ``|H_y|`` for every output (wide = expansion-hostile).
+    region_width:
+        Cube width of each rule's region (over the selector subset).
+    rules_per_y:
+        Region rules per output; at most ``2^region_width`` (the number
+        of disjoint cubes a selector supports).
+    """
+    rng = make_rng(seed)
+    universals = list(range(1, num_universals + 1))
+    cnf = CNF(num_vars=num_universals)
+    existentials = cnf.extend_vars(num_existentials)
+
+    dependencies = {}
+    for y in existentials:
+        deps = sorted(rng.sample(universals,
+                                 min(dep_width, num_universals)))
+        dependencies[y] = deps
+        selector = rng.sample(deps, min(region_width, len(deps)))
+        combos = list(range(1 << len(selector)))
+        rng.shuffle(combos)
+        for combo in combos[:min(rules_per_y, len(combos))]:
+            value = rng.random() < 0.5
+            region_lits = []
+            for i, x in enumerate(selector):
+                bit = (combo >> i) & 1
+                region_lits.append(x if bit else -x)
+            # region → (y = value):  (¬region ∨ ±y)
+            clause = [-l for l in region_lits]
+            clause.append(y if value else -y)
+            cnf.add_clause(clause)
+
+    name = name or "planted_x%d_y%d_w%d_r%d_s%s" % (
+        num_universals, num_existentials, dep_width, rules_per_y, seed)
+    return DQBFInstance(universals, dependencies, cnf, name=name)

@@ -1,0 +1,75 @@
+"""Succinct DQBF encodings of propositional satisfiability.
+
+QBFEval's DQBF track contains "succinct DQBF representations of
+propositional satisfiability problems" (paper §6).  The standard trick:
+a variable that may depend on a *single* universal can be forced to be a
+constant by a twin construction, so a SAT question over constants embeds
+into DQBF.
+
+For each SAT variable ``z_i`` we introduce universals ``x_i, x'_i`` and
+existentials ``y_i`` (depending on ``x_i``) and ``y'_i`` (depending on
+``x'_i``).  The unconditional constraint ``y_i ↔ y'_i`` makes both
+functions equal on *every* pair of inputs, hence constant (and equal).
+Conjoining ψ(Y) yields a DQBF that is True iff ψ is satisfiable, and the
+Henkin functions read back the satisfying assignment.
+"""
+
+from repro.dqbf.instance import DQBFInstance
+from repro.formula.cnf import CNF, lit_var, lit_sign
+from repro.utils.rng import make_rng
+
+
+def generate_succinct_sat_instance(psi_clauses, num_z, seed=None, name=None):
+    """Encode a SAT formula (clauses over variables ``1..num_z``).
+
+    Returns a :class:`DQBFInstance` that is True iff ψ is satisfiable.
+    """
+    cnf = CNF()
+    x = [cnf.fresh_var() for _ in range(num_z)]        # x_i
+    xp = [cnf.fresh_var() for _ in range(num_z)]       # x'_i
+    y = [cnf.fresh_var() for _ in range(num_z)]        # y_i
+    yp = [cnf.fresh_var() for _ in range(num_z)]       # y'_i
+
+    dependencies = {}
+    for i in range(num_z):
+        dependencies[y[i]] = [x[i]]
+        dependencies[yp[i]] = [xp[i]]
+        # y_i ↔ y'_i with disjoint single-var dependencies ⇒ constants.
+        cnf.add_clause((-y[i], yp[i]))
+        cnf.add_clause((y[i], -yp[i]))
+
+    for clause in psi_clauses:
+        mapped = []
+        for l in clause:
+            z = lit_var(l)
+            if not 1 <= z <= num_z:
+                raise ValueError("ψ literal %d out of range" % l)
+            mapped.append(y[z - 1] if lit_sign(l) else -y[z - 1])
+        cnf.add_clause(mapped)
+
+    name = name or "succinct_sat_z%d_c%d_s%s" % (num_z, len(psi_clauses),
+                                                 seed)
+    return DQBFInstance(x + xp, dependencies, cnf, name=name)
+
+
+def random_ksat(num_z, num_clauses, k=3, rng=None):
+    """Random k-SAT clause list over ``1..num_z`` (no tautologies)."""
+    rng = make_rng(rng)
+    clauses = []
+    while len(clauses) < num_clauses:
+        chosen = rng.sample(range(1, num_z + 1), min(k, num_z))
+        clause = tuple(v if rng.random() < 0.5 else -v for v in chosen)
+        clauses.append(clause)
+    return clauses
+
+
+def generate_random_succinct_sat(num_z=5, clause_ratio=3.0, seed=None,
+                                 name=None):
+    """Random succinct-SAT instance (near-threshold ratio ⇒ hard mix)."""
+    rng = make_rng(seed)
+    clauses = random_ksat(num_z, max(1, int(round(clause_ratio * num_z))),
+                          rng=rng)
+    return generate_succinct_sat_instance(
+        clauses, num_z, seed=seed,
+        name=name or "succinct_sat_z%d_r%.1f_s%s" % (num_z, clause_ratio,
+                                                     seed))

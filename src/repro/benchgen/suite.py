@@ -1,0 +1,133 @@
+"""The mixed evaluation suite behind every figure/table benchmark.
+
+``build_suite`` assembles seeded instances from all six families with
+knobs spanning easy → hard, in three sizes:
+
+* ``smoke``  — a handful of instances, seconds; used by integration tests;
+* ``small``  — ~45 instances; the default for ``benchmarks/``;
+* ``medium`` — ~90 instances for longer campaigns.
+
+The family mix is chosen so the evaluation reproduces the paper's
+*shape* (§6: three mutually incomparable engines and a strict VBS
+improvement from adding Manthan3):
+
+* narrow PEC / controller / succinct-SAT — the common core, solvable by
+  everyone (expansion usually fastest);
+* wide planted region-rules — Manthan3's slice (expansion guard trips,
+  arbiter refinement needs one round per row);
+* defined-PEC over wide X — the definition-extraction slice (unique
+  definitions too wide for Manthan3's preprocessing cap);
+* wide subcircuit-PEC — Manthan3 + Pedant, not expansion;
+* equality chains — the baselines' slice (Manthan3's §5 incompleteness).
+"""
+
+from repro.benchgen.arithmetic import (
+    generate_adder_pec_instance,
+    generate_comparator_instance,
+)
+from repro.benchgen.controller import generate_controller_instance
+from repro.benchgen.pec import (
+    generate_pec_instance,
+    generate_defined_pec_instance,
+)
+from repro.benchgen.planted import generate_planted_instance
+from repro.benchgen.succinct_sat import generate_random_succinct_sat
+from repro.benchgen.xor_chain import (
+    generate_coupled_xor_instance,
+    generate_xor_chain_instance,
+)
+
+SUITE_SIZES = ("smoke", "small", "medium")
+
+
+def build_suite(size="small", seed=0):
+    """Return the list of :class:`DQBFInstance` for one campaign size."""
+    if size not in SUITE_SIZES:
+        raise ValueError("size must be one of %r" % (SUITE_SIZES,))
+    reps = {"smoke": 1, "small": 2, "medium": 4}[size]
+    instances = []
+    counter = [0]
+
+    def salt():
+        counter[0] += 1
+        return seed * 10_000 + counter[0]
+
+    for r in range(reps):
+        # --- Common core: narrow PEC --------------------------------
+        instances.append(generate_pec_instance(
+            num_inputs=5, num_outputs=2, num_boxes=1, depth=2,
+            realizable=True, seed=salt()))
+        instances.append(generate_pec_instance(
+            num_inputs=6, num_outputs=3, num_boxes=2, depth=3,
+            extra_observables=1, realizable=True, seed=salt()))
+        if size != "smoke":
+            instances.append(generate_pec_instance(
+                num_inputs=7, num_outputs=3, num_boxes=2, depth=3,
+                realizable=False, seed=salt()))
+            instances.append(generate_adder_pec_instance(
+                bits=3, realizable=True, seed=salt()))
+            instances.append(generate_comparator_instance(
+                bits=3, seed=salt()))
+
+        # --- Common core: controller synthesis -----------------------
+        instances.append(generate_controller_instance(
+            num_state=4, num_disturbance=2, num_controls=2,
+            observable=True, seed=salt()))
+        if size != "smoke":
+            instances.append(generate_controller_instance(
+                num_state=5, num_disturbance=2, num_controls=3,
+                observable=True, seed=salt()))
+            instances.append(generate_controller_instance(
+                num_state=4, num_disturbance=2, num_controls=2,
+                observable=False, seed=salt()))
+
+        # --- Common core: succinct SAT -------------------------------
+        instances.append(generate_random_succinct_sat(
+            num_z=4, clause_ratio=2.5, seed=salt()))
+        if size != "smoke":
+            instances.append(generate_random_succinct_sat(
+                num_z=6, clause_ratio=3.5, seed=salt()))
+            instances.append(generate_random_succinct_sat(
+                num_z=8, clause_ratio=4.5, seed=salt()))
+
+        # --- Manthan3 slice: wide region rules ------------------------
+        instances.append(generate_planted_instance(
+            num_universals=20, num_existentials=4, dep_width=18,
+            region_width=3, rules_per_y=6, seed=salt()))
+        if size != "smoke":
+            instances.append(generate_planted_instance(
+                num_universals=24, num_existentials=5, dep_width=20,
+                region_width=3, rules_per_y=7, seed=salt()))
+            instances.append(generate_planted_instance(
+                num_universals=22, num_existentials=4, dep_width=19,
+                region_width=4, rules_per_y=10, seed=salt()))
+
+        # --- Definition slice: defined-PEC over wide X ----------------
+        instances.append(generate_defined_pec_instance(
+            num_inputs=20, num_outputs=3, support_width=10, depth=3,
+            seed=salt()))
+        if size != "smoke":
+            instances.append(generate_defined_pec_instance(
+                num_inputs=22, num_outputs=3, support_width=11, depth=3,
+                seed=salt()))
+
+        # --- Mixed slice: wide subcircuit-PEC --------------------------
+        if size != "smoke":
+            instances.append(generate_pec_instance(
+                num_inputs=20, num_outputs=3, num_boxes=2, depth=3,
+                extra_observables=1, realizable=True, seed=salt()))
+
+        # --- Baseline slice: equality chains ---------------------------
+        instances.append(generate_xor_chain_instance(
+            chain_length=3 + r, window=2, seed=salt()))
+        if size != "smoke":
+            instances.append(generate_xor_chain_instance(
+                chain_length=5, window=3, seed=salt()))
+            instances.append(generate_xor_chain_instance(
+                chain_length=4, window=2, force_value=True, seed=salt()))
+
+        # --- Repair-critical slice: coupled XOR pairs ------------------
+        if size != "smoke":
+            instances.append(generate_coupled_xor_instance(
+                num_universals=10, window=8, pairs=2, seed=salt()))
+    return instances

@@ -1,0 +1,95 @@
+"""Staggered-window equality chains: the Manthan3-hostile family.
+
+Generalizes the paper's §5 limitation example (``ϕ = ¬(y1 ⊕ y2)``,
+``H1 = {x1,x2}``, ``H2 = {x2,x3}``): a chain of existentials with
+sliding dependency windows over X, constrained pairwise equal:
+
+    ϕ = ⋀_{i<k} ¬(y_i ⊕ y_{i+1})     H_i = {x_i, …, x_{i+w-1}}
+
+Every pair of adjacent windows overlaps without inclusion, so the repair
+formula ``Gk`` may not constrain the neighbour and Manthan3's repair
+loop stalls exactly as §5 describes — *unless* learning happens to
+produce the (constant) solution outright.  Expansion and the arbiter
+baseline solve these easily, which reproduces the "instances only the
+baselines solve" slice of the evaluation.
+"""
+
+from repro.dqbf.instance import DQBFInstance
+from repro.formula.cnf import CNF
+from repro.utils.rng import make_rng
+
+
+def generate_coupled_xor_instance(num_universals=6, window=4, pairs=2,
+                                  seed=None, name=None):
+    """Pairs of existentials coupled by ``y_a ⊕ y_b ↔ x_s`` (equal deps).
+
+    Generalizes the repair example of §5 (``y1 ↔ x1 ⊕ y2``): both
+    members of a pair share one dependency window, so repairing one
+    member *requires* the ``Ŷ ↔ σ[Ŷ]`` conjunct of the repair formula
+    ``Gk`` — without it ``Gk`` is always satisfiable and the engine
+    stalls.  One region rule per pair pins ``y_a`` on part of the window
+    so learned candidates are usually wrong somewhere and the repair
+    path actually runs.  Instances are True by construction: choose
+    ``f_a`` honouring the rule, then ``f_b = f_a ⊕ x_s``.
+    """
+    rng = make_rng(seed)
+    universals = list(range(1, num_universals + 1))
+    cnf = CNF(num_vars=num_universals)
+    dependencies = {}
+    for _p in range(pairs):
+        ya = cnf.fresh_var()
+        yb = cnf.fresh_var()
+        win = sorted(rng.sample(universals, min(window, num_universals)))
+        dependencies[ya] = win
+        dependencies[yb] = win
+        xs = rng.choice(win)
+        # ya ⊕ yb ↔ xs
+        cnf.add_clause((-ya, yb, xs))
+        cnf.add_clause((ya, -yb, xs))
+        cnf.add_clause((ya, yb, -xs))
+        cnf.add_clause((-ya, -yb, -xs))
+        # one region rule pinning ya on part of the window (consistent
+        # by construction: a single implication can always be honoured)
+        others = [x for x in win if x != xs]
+        if others:
+            region = rng.choice(others)
+            value = rng.random() < 0.5
+            cnf.add_clause((-region, ya if value else -ya))
+    name = name or "coupled_x%d_w%d_p%d_s%s" % (num_universals, window,
+                                                pairs, seed)
+    return DQBFInstance(universals, dependencies, cnf, name=name)
+
+
+def generate_xor_chain_instance(chain_length=4, window=2, force_value=None,
+                                seed=None, name=None):
+    """Build one equality-chain instance (always a True DQBF).
+
+    Parameters
+    ----------
+    chain_length:
+        Number of existentials ``k``.
+    window:
+        Dependency window width ``w`` (adjacent windows overlap by
+        ``w − 1``; no inclusions ⇒ no exploitable subset pairs).
+    force_value:
+        ``True``/``False`` adds a unit clause pinning the chain's common
+        constant; ``None`` leaves it free.
+    """
+    num_x = chain_length + window - 1
+    cnf = CNF(num_vars=num_x)
+    universals = list(range(1, num_x + 1))
+    ys = cnf.extend_vars(chain_length)
+    dependencies = {
+        y: list(range(i + 1, i + window + 1)) for i, y in enumerate(ys)
+    }
+    for a, b in zip(ys, ys[1:]):
+        # ¬(a ⊕ b) ≡ a ↔ b.
+        cnf.add_clause((-a, b))
+        cnf.add_clause((a, -b))
+    if force_value is not None:
+        cnf.add_unit(ys[0] if force_value else -ys[0])
+
+    name = name or "xorchain_k%d_w%d_%s_s%s" % (
+        chain_length, window,
+        {None: "free", True: "one", False: "zero"}[force_value], seed)
+    return DQBFInstance(universals, dependencies, cnf, name=name)

@@ -1,0 +1,14 @@
+"""Command-line interface.
+
+``python -m repro.cli`` (or the ``repro`` console script) exposes the
+library's workflows:
+
+* ``repro synth file.dqdimacs``  — synthesize Henkin functions;
+* ``repro info file.dqdimacs``   — print instance statistics;
+* ``repro gen pec -o out.dqdimacs`` — generate a benchmark instance;
+* ``repro bench --suite smoke``  — run an evaluation campaign.
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

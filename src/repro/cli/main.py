@@ -1,0 +1,224 @@
+"""Argparse front-end for the synthesis engines and benchmark tooling."""
+
+import argparse
+import sys
+
+from repro.baselines import (
+    BDDSynthesizer,
+    ExpansionSynthesizer,
+    PedantLikeSynthesizer,
+    SkolemCompositionSynthesizer,
+)
+from repro.core import Manthan3, Manthan3Config, Status
+from repro.dqbf import check_false_witness, check_henkin_vector
+from repro.formula.aig import write_henkin_aiger
+from repro.formula.verilog import write_henkin_verilog
+from repro.parsing import parse_dqdimacs, parse_qdimacs, write_dqdimacs
+
+
+def _make_engine(name, seed):
+    if name == "manthan3":
+        return Manthan3(Manthan3Config(seed=seed))
+    if name == "expansion":
+        return ExpansionSynthesizer(seed=seed)
+    if name == "pedant":
+        return PedantLikeSynthesizer(seed=seed)
+    if name == "skolem":
+        return SkolemCompositionSynthesizer(seed=seed)
+    if name == "bdd":
+        return BDDSynthesizer(seed=seed)
+    raise SystemExit("unknown engine %r" % name)
+
+
+def _load_instance(path, fmt):
+    with open(path) as handle:
+        text = handle.read()
+    if fmt == "auto":
+        fmt = "qdimacs" if path.endswith(".qdimacs") else "dqdimacs"
+    parser = parse_qdimacs if fmt == "qdimacs" else parse_dqdimacs
+    import os
+
+    return parser(text, name=os.path.basename(path))
+
+
+def cmd_synth(args):
+    instance = _load_instance(args.file, args.format)
+    engine = _make_engine(args.engine, args.seed)
+    result = engine.run(instance, timeout=args.timeout)
+    print("verdict: %s  (%.3f s)" % (result.status,
+                                     result.stats.get("wall_time", 0.0)),
+          file=sys.stderr)
+    if result.reason:
+        print("reason: %s" % result.reason, file=sys.stderr)
+
+    if result.status == Status.FALSE:
+        if result.witness is not None:
+            cert = check_false_witness(instance, result.witness)
+            print("falsity witness check: %s"
+                  % ("VALID" if cert.valid else "INVALID"),
+                  file=sys.stderr)
+        return 20
+    if result.status != Status.SYNTHESIZED:
+        return 30
+
+    cert = check_henkin_vector(instance, result.functions)
+    print("certificate: %s" % ("VALID" if cert.valid
+                               else "INVALID (%s)" % cert.reason),
+          file=sys.stderr)
+    if not cert.valid:
+        return 1
+
+    if args.output_format == "infix":
+        text = "".join("y%d = %s\n" % (y, result.functions[y].to_infix())
+                       for y in instance.existentials)
+    elif args.output_format == "aiger":
+        text = write_henkin_aiger(instance, result.functions)
+    else:
+        text = write_henkin_verilog(instance, result.functions)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print("wrote %s" % args.output, file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 10
+
+
+def cmd_info(args):
+    instance = _load_instance(args.file, args.format)
+    stats = instance.stats()
+    for key in ("name", "universals", "existentials", "clauses",
+                "min_dep", "max_dep", "skolem"):
+        print("%-14s %s" % (key, stats[key]))
+    subset_pairs = sum(1 for _ in instance.dependency_subset_pairs())
+    print("%-14s %d" % ("subset_pairs", subset_pairs))
+    return 0
+
+
+def cmd_gen(args):
+    from repro.benchgen import (
+        generate_controller_instance,
+        generate_pec_instance,
+        generate_planted_instance,
+        generate_xor_chain_instance,
+    )
+    from repro.benchgen.pec import generate_defined_pec_instance
+    from repro.benchgen.succinct_sat import generate_random_succinct_sat
+    from repro.benchgen.xor_chain import generate_coupled_xor_instance
+
+    from repro.benchgen.arithmetic import (
+        generate_adder_pec_instance,
+        generate_comparator_instance,
+    )
+
+    makers = {
+        "coupled-xor": lambda: generate_coupled_xor_instance(
+            seed=args.seed),
+        "adder": lambda: generate_adder_pec_instance(seed=args.seed),
+        "comparator": lambda: generate_comparator_instance(
+            seed=args.seed),
+        "pec": lambda: generate_pec_instance(seed=args.seed),
+        "defined-pec": lambda: generate_defined_pec_instance(
+            seed=args.seed),
+        "controller": lambda: generate_controller_instance(
+            seed=args.seed),
+        "succinct-sat": lambda: generate_random_succinct_sat(
+            seed=args.seed),
+        "planted": lambda: generate_planted_instance(seed=args.seed),
+        "xor-chain": lambda: generate_xor_chain_instance(seed=args.seed),
+    }
+    if args.family not in makers:
+        raise SystemExit("unknown family %r (choose from %s)"
+                         % (args.family, ", ".join(sorted(makers))))
+    instance = makers[args.family]()
+    text = write_dqdimacs(instance, comment="family=%s seed=%s"
+                          % (args.family, args.seed))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print("wrote %s (%s)" % (args.output, instance.name),
+              file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_bench(args):
+    from repro.benchgen import build_suite
+    from repro.portfolio import run_portfolio
+    from repro.portfolio.report import render_report
+
+    suite = build_suite(args.suite, seed=args.seed)
+    engines = [_make_engine(name, args.seed)
+               for name in ("manthan3", "expansion", "pedant")]
+
+    def progress(record):
+        print("  %-10s %-40s %-12s %6.2f s"
+              % (record.engine, record.instance, record.status,
+                 record.time), file=sys.stderr)
+
+    table = run_portfolio(suite, engines, timeout=args.timeout,
+                          progress=progress if args.verbose else None)
+    lines = render_report(table)
+    text = "\n".join(lines) + "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print("wrote %s" % args.output, file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Manthan3 reproduction: Henkin function synthesis "
+                    "for DQBF")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synth", help="synthesize Henkin functions")
+    synth.add_argument("file")
+    synth.add_argument("--engine", default="manthan3",
+                       choices=["manthan3", "expansion", "pedant",
+                                "skolem", "bdd"])
+    synth.add_argument("--format", default="auto",
+                       choices=["auto", "dqdimacs", "qdimacs"])
+    synth.add_argument("--output-format", default="infix",
+                       choices=["infix", "aiger", "verilog"])
+    synth.add_argument("--timeout", type=float, default=None)
+    synth.add_argument("--seed", type=int, default=None)
+    synth.add_argument("-o", "--output", default=None)
+    synth.set_defaults(func=cmd_synth)
+
+    info = sub.add_parser("info", help="print instance statistics")
+    info.add_argument("file")
+    info.add_argument("--format", default="auto",
+                      choices=["auto", "dqdimacs", "qdimacs"])
+    info.set_defaults(func=cmd_info)
+
+    gen = sub.add_parser("gen", help="generate a benchmark instance")
+    gen.add_argument("family")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output", default=None)
+    gen.set_defaults(func=cmd_gen)
+
+    bench = sub.add_parser("bench", help="run an evaluation campaign")
+    bench.add_argument("--suite", default="smoke",
+                       choices=["smoke", "small", "medium"])
+    bench.add_argument("--timeout", type=float, default=10.0)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--verbose", action="store_true")
+    bench.add_argument("-o", "--output", default=None)
+    bench.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Manthan3: the paper's primary contribution.
+
+A data-driven Henkin-function synthesizer (Algorithms 1–3 of the paper):
+
+1. sample satisfying assignments of ϕ (:mod:`repro.sampling`);
+2. learn one decision-tree candidate per existential, with the feature
+   set restricted by the Henkin dependencies (:mod:`repro.learning`);
+3. verify the candidate vector with a SAT oracle;
+4. on failure, select repair candidates with MaxSAT and repair them with
+   UNSAT-core-guided strengthening/weakening.
+
+The engine is *sound* (returned vectors are re-checked by the independent
+certificate checker in tests) and — like the paper's tool — *incomplete*:
+repair can stall on instances where ``Gk`` cannot constrain the relevant
+variables (paper §5, Limitations), which is reported as ``UNKNOWN``.
+"""
+
+from repro.core.config import Manthan3Config
+from repro.core.result import SynthesisResult, Status
+from repro.core.engine import Manthan3, synthesize
+
+__all__ = [
+    "Manthan3",
+    "Manthan3Config",
+    "SynthesisResult",
+    "Status",
+    "synthesize",
+]

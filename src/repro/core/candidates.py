@@ -1,0 +1,111 @@
+"""Candidate learning (Algorithm 2: ``CandidateHkF``).
+
+For each existential ``yi`` a binary decision tree is trained on the
+sampled models: features are the valuations of ``Hi`` plus any ``yj``
+with ``Hj ⊆ Hi`` that is not (transitively) dependent on ``yi``; labels
+are the valuations of ``yi``.  The candidate is the disjunction of the
+tree's 1-paths.  Discovered uses of ``yj`` features are recorded in the
+dependency bookkeeping ``D`` (line 12) so ``FindOrder`` can later produce
+a valid total order.
+"""
+
+import networkx as nx
+
+from repro.learning.decision_tree import DecisionTree
+from repro.learning.tree_to_formula import tree_to_expr
+
+
+class DependencyTracker:
+    """The paper's ``D``, kept as an explicit dependency digraph.
+
+    Edge ``u → v`` means "``u``'s candidate depends on ``v``".  The paper
+    maintains per-variable sets ``di`` updated on the fly (Algorithm 2,
+    line 12); we keep the graph and answer "may ``yi`` use ``yj``?" with a
+    reachability query, which is transitively closed by construction —
+    the set formulation can miss late-added transitive dependers and
+    admit a cycle.
+    """
+
+    def __init__(self, existentials):
+        self.graph = nx.DiGraph()
+        self.graph.add_nodes_from(existentials)
+
+    def seed_subset_pairs(self, instance):
+        """Lines 3–5 of Algorithm 1: ``Hj ⊂ Hi`` fixes the direction
+        upfront — ``yi`` may (eventually) use ``yj``, never vice versa."""
+        for yi, yj in instance.dependency_subset_pairs():
+            self.graph.add_edge(yi, yj)
+
+    def record_use(self, yi, used_ys):
+        """``yi``'s candidate uses each ``yk ∈ used_ys``."""
+        for yk in used_ys:
+            self.graph.add_edge(yi, yk)
+
+    def may_use(self, yi, yj):
+        """Can ``yi``'s candidate take ``yj`` as a feature without
+        creating a cycle?  Yes iff ``yj`` does not (transitively) depend
+        on ``yi``."""
+        return yi != yj and not nx.has_path(self.graph, yj, yi)
+
+    def edges(self):
+        """Yield ``(depender, dependee)`` pairs."""
+        return iter(self.graph.edges())
+
+
+def feature_set_for(instance, yi, tracker, fixed=(), use_y_features=True):
+    """Feature variables for learning ``yi`` (Algorithm 2, lines 1–4)."""
+    features = sorted(instance.dependencies[yi])
+    if not use_y_features:
+        return features
+    hi = instance.dependencies[yi]
+    for yj in instance.existentials:
+        if yj == yi or yj in fixed:
+            # Fixed (preprocessed) functions are final; keeping them out
+            # of feature sets keeps candidate supports repair-friendly.
+            continue
+        if instance.dependencies[yj] <= hi and tracker.may_use(yi, yj):
+            features.append(yj)
+    return features
+
+
+def learn_candidate(instance, yi, samples, tracker, config, fixed=()):
+    """Learn the candidate ``fi`` for ``yi``; returns ``(expr, used_ys)``
+    and updates ``tracker`` (Algorithm 2)."""
+    features = feature_set_for(instance, yi, tracker, fixed=fixed,
+                               use_y_features=config.use_y_features)
+    rows = [{f: int(model[f]) for f in features} for model in samples]
+    labels = [int(model[yi]) for model in samples]
+    tree = DecisionTree(
+        max_depth=config.tree_max_depth,
+        min_impurity_decrease=config.tree_min_impurity_decrease,
+    ).fit(rows, labels, features)
+    expr = tree_to_expr(tree, label=1)
+    used_ys = {f for f in tree.used_features()
+               if f in instance.dependencies}
+    tracker.record_use(yi, used_ys)
+    return expr, used_ys
+
+
+def learn_all_candidates(instance, samples, config, fixed=None):
+    """Algorithm 1, lines 2–7: seed D, then learn every non-fixed
+    candidate.  Returns ``(candidates, tracker)`` where ``candidates``
+    includes the fixed functions."""
+    fixed = dict(fixed or {})
+    tracker = DependencyTracker(instance.existentials)
+    tracker.seed_subset_pairs(instance)
+    candidates = dict(fixed)
+    y_set = set(instance.existentials)
+    # Fixed (preprocessed) candidates may reference other existentials
+    # (gate-definition DAGs); record those edges so FindOrder places the
+    # definitions before the variables they mention.
+    for y, expr in fixed.items():
+        used = expr.support() & y_set
+        if used:
+            tracker.record_use(y, used)
+    for yi in instance.existentials:
+        if yi in fixed:
+            continue
+        expr, _ = learn_candidate(instance, yi, samples, tracker, config,
+                                  fixed=fixed)
+        candidates[yi] = expr
+    return candidates, tracker

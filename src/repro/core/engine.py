@@ -1,0 +1,172 @@
+"""The Manthan3 engine: Algorithm 1 end to end."""
+
+from repro.core.candidates import learn_all_candidates
+from repro.core.config import Manthan3Config
+from repro.core.order import find_order, substitute_candidates
+from repro.core.preprocess import preprocess
+from repro.core.repair import repair_iteration
+from repro.core.result import SynthesisResult, Status
+from repro.core.selfsub import self_substitute
+from repro.core.verifier import verify_candidates
+from repro.sampling import Sampler
+from repro.utils.errors import ResourceBudgetExceeded
+from repro.utils.rng import make_rng, spawn
+from repro.utils.timer import Deadline, Stopwatch
+
+
+class Manthan3:
+    """Data-driven Henkin function synthesis (paper Algorithm 1).
+
+    >>> from repro.parsing import parse_dqdimacs
+    >>> inst = parse_dqdimacs('''p cnf 3 2
+    ... a 1 0
+    ... d 2 1 0
+    ... d 3 1 0
+    ... 1 2 0
+    ... -2 3 0
+    ... ''')
+    >>> result = Manthan3().run(inst)
+    >>> result.status
+    'SYNTHESIZED'
+    """
+
+    name = "manthan3"
+
+    def __init__(self, config=None):
+        self.config = config or Manthan3Config()
+
+    def run(self, instance, timeout=None):
+        """Synthesize Henkin functions for ``instance``.
+
+        ``timeout`` (seconds) bounds the whole run; budget exhaustion
+        yields ``Status.TIMEOUT``.
+        """
+        deadline = Deadline(timeout)
+        stopwatch = Stopwatch().start()
+        try:
+            return self._run(instance, deadline, stopwatch)
+        except ResourceBudgetExceeded:
+            return SynthesisResult(
+                Status.TIMEOUT,
+                stats={"wall_time": stopwatch.stop()},
+                reason="budget exhausted")
+
+    # ------------------------------------------------------------------
+    def _run(self, instance, deadline, stopwatch):
+        config = self.config
+        rng = make_rng(config.seed)
+        stats = {"samples": 0, "repair_iterations": 0,
+                 "candidates_learned": 0}
+
+        # Fast path: if unit propagation on ϕ alone forces a universal
+        # variable, flipping that variable yields an inextensible X
+        # assignment — the instance is False with a checkable witness.
+        from repro.formula.simplify import propagate_units
+
+        units = {}
+        _, up_conflict = propagate_units(list(instance.matrix.clauses),
+                                         units)
+        if up_conflict:
+            return self._finish(Status.FALSE, stats, stopwatch,
+                                reason="matrix is unsatisfiable")
+        for x in instance.universals:
+            if x in units:
+                witness = {u: False for u in instance.universals}
+                witness[x] = not units[x]
+                return self._finish(
+                    Status.FALSE, stats, stopwatch,
+                    reason="matrix forces universal x%d" % x,
+                    witness=witness)
+
+        # Data generation (Algorithm 1, line 1).
+        weighted = instance.existentials if config.adaptive_sampling else ()
+        sampler = Sampler(instance.matrix, rng=spawn(rng, 1),
+                          weighted_vars=weighted)
+        samples = sampler.draw(config.num_samples, deadline=deadline,
+                               conflict_budget=config.sat_conflict_budget)
+        stats["samples"] = len(samples)
+        if not samples:
+            # ϕ itself is unsatisfiable: no X has a Y extension.
+            return self._finish(Status.FALSE, stats, stopwatch,
+                                reason="matrix is unsatisfiable")
+
+        # Preprocessing (unates + unique definitions).
+        pre = preprocess(instance, config, deadline=deadline,
+                         rng=spawn(rng, 2))
+        stats.update({"fixed_" + k: v for k, v in pre.stats.items()})
+
+        # Candidate learning (lines 2–7).
+        candidates, tracker = learn_all_candidates(instance, samples, config,
+                                                   fixed=pre.fixed)
+        stats["candidates_learned"] = (len(candidates) - len(pre.fixed))
+
+        # FindOrder (line 8).
+        order = find_order(instance, tracker)
+
+        # Verify–repair loop (lines 9–18).
+        stagnation = 0
+        repair_counts = {}
+        non_repairable = dict(pre.fixed)
+        stats["self_substitutions"] = 0
+        for iteration in range(config.max_repair_iterations + 1):
+            deadline.check()
+            outcome = verify_candidates(
+                instance, candidates, rng=spawn(rng, 100 + iteration),
+                deadline=deadline,
+                conflict_budget=config.sat_conflict_budget)
+            if outcome.verdict == "VALID":
+                final = substitute_candidates(instance, candidates, order)
+                stats["repair_iterations"] = iteration
+                return self._finish(Status.SYNTHESIZED, stats, stopwatch,
+                                    functions=final)
+            if outcome.verdict == "FALSE":
+                stats["repair_iterations"] = iteration
+                return self._finish(
+                    Status.FALSE, stats, stopwatch,
+                    reason="X assignment admits no Y extension",
+                    witness=outcome.sigma_x)
+            if iteration == config.max_repair_iterations:
+                break
+            modified = repair_iteration(
+                instance, candidates, tracker, order, outcome.sigma_x,
+                config, fixed=non_repairable,
+                rng=spawn(rng, 200 + iteration),
+                deadline=deadline, repair_counts=repair_counts)
+            # Manthan2-style fallback: a candidate repaired too often is
+            # replaced by its self-substitution and retired from repair.
+            if config.use_self_substitution:
+                for yk, count in list(repair_counts.items()):
+                    if count <= config.self_substitution_threshold or \
+                            yk in non_repairable:
+                        continue
+                    applied = self_substitute(
+                        instance, candidates, tracker, yk,
+                        max_dag_size=config.self_substitution_max_dag)
+                    if applied:
+                        non_repairable[yk] = candidates[yk]
+                        stats["self_substitutions"] += 1
+                        # New edges may invalidate the old total order.
+                        order = find_order(instance, tracker)
+            if modified == 0:
+                stagnation += 1
+                if stagnation >= config.stagnation_limit:
+                    stats["repair_iterations"] = iteration + 1
+                    return self._finish(
+                        Status.UNKNOWN, stats, stopwatch,
+                        reason="repair stagnated (incompleteness, paper §5)")
+            else:
+                stagnation = 0
+        stats["repair_iterations"] = config.max_repair_iterations
+        return self._finish(Status.UNKNOWN, stats, stopwatch,
+                            reason="repair iteration budget exhausted")
+
+    def _finish(self, status, stats, stopwatch, functions=None, reason="",
+                witness=None):
+        stats["wall_time"] = stopwatch.stop()
+        return SynthesisResult(status, functions=functions, stats=stats,
+                               reason=reason, witness=witness)
+
+
+def synthesize(instance, config=None, timeout=None):
+    """Module-level convenience: run Manthan3 with an optional timeout."""
+    return Manthan3(config=config).run(instance, timeout=timeout)

@@ -1,0 +1,175 @@
+"""Preprocessing: unate constants and unique-definition extraction.
+
+Mirrors the paper implementation's use of preprocessing before learning:
+
+* **Unates** (inherited from Manthan): if flipping ``yi`` from 0 to 1 can
+  never falsify ϕ (positive unate), the constant function 1 is a correct
+  Henkin function for ``yi`` (constants trivially satisfy any dependency
+  set); dually for negative unates.  Each check is one SAT call on a
+  two-cofactor formula, and fixed units are added to the working matrix
+  so later checks benefit.
+* **Unique definitions** (the UNIQUE component): syntactic gate matching
+  first, then Padoa's method + truth-table extraction for small
+  dependency sets.  A definition whose support fits inside ``H_i`` is a
+  final function — it is excluded from learning and repair.
+"""
+
+from repro.formula import boolfunc as bf
+from repro.definability.gates import find_gate_definitions
+from repro.definability.padoa import is_uniquely_defined, extract_definition
+from repro.formula.cnf import CNF
+from repro.formula.tseitin import TseitinEncoder, negated_cnf_expr
+from repro.sat.solver import Solver, SAT, UNSAT
+
+
+class PreprocessOutcome:
+    """Functions fixed before learning.
+
+    ``fixed`` maps existential variables to final
+    :class:`~repro.formula.boolfunc.BoolExpr` functions; ``stats`` counts
+    what each mechanism contributed.
+    """
+
+    def __init__(self, fixed, stats):
+        self.fixed = fixed
+        self.stats = stats
+
+
+def detect_unates(instance, deadline=None, conflict_budget=None, rng=None):
+    """Find unate existentials; returns ``{y: TRUE|FALSE}``.
+
+    ``yi`` is positive unate iff ``ϕ|_{yi=0} ∧ ¬ϕ|_{yi=1}`` is UNSAT —
+    then ``fi = 1``; negative unate dually with ``fi = 0``.  Fixed values
+    are committed to a working copy of the matrix so subsequent checks
+    see them (order-dependent, as in Manthan).
+    """
+    working = instance.matrix.copy()
+    fixed = {}
+    for y in instance.existentials:
+        if deadline is not None and deadline.expired():
+            break
+        for value, constant in ((True, bf.TRUE), (False, bf.FALSE)):
+            if _is_unate(working, y, value, deadline=deadline,
+                         conflict_budget=conflict_budget, rng=rng):
+                fixed[y] = constant
+                working.add_unit(y if value else -y)
+                break
+    return fixed
+
+
+def _is_unate(matrix, y, positive, deadline=None, conflict_budget=None,
+              rng=None):
+    """One unate check: is ``ϕ|_{y=¬v} ∧ ¬(ϕ|_{y=v})`` UNSAT?"""
+    v_true = {y: not positive}
+    cofactor_off = matrix.simplified(v_true)           # ϕ with y = ¬v
+    if any(len(c) == 0 for c in cofactor_off.clauses):
+        # ϕ|_{y=¬v} is UNSAT: implication holds vacuously.
+        return True
+    cofactor_on = matrix.simplified({y: positive})     # ϕ with y = v
+    check = cofactor_off.copy()
+    check.num_vars = max(check.num_vars, cofactor_on.num_vars)
+    encoder = TseitinEncoder(check)
+    encoder.assert_expr(negated_cnf_expr(cofactor_on))
+    solver = Solver(check, rng=rng)
+    status = solver.solve(deadline=deadline, conflict_budget=conflict_budget)
+    return status == UNSAT
+
+
+def extract_unique_functions(instance, skip=(), max_table_bits=8,
+                             deadline=None, conflict_budget=None, rng=None):
+    """Definitions for uniquely defined existentials (gates, then Padoa).
+
+    Gate definitions may reference other existential variables (Tseitin
+    encodings of circuits are definition DAGs): a definition for ``y`` is
+    accepted when every input is either in ``H_y``, an already-accepted
+    definition with smaller dependency set, or a *learnable* existential
+    ``yj`` with ``Hj ⊆ Hy`` (the final substitution grounds it out).
+    Mutually-referencing definitions are left to the learner, which keeps
+    the accepted set acyclic by construction.
+    """
+    fixed = {}
+    stats = {"gates": 0, "padoa": 0}
+    skip = set(skip)
+
+    candidates_set = set(instance.existentials) - skip
+    gate_defs = find_gate_definitions(instance.matrix,
+                                      candidates=candidates_set)
+
+    def input_ok(y, v):
+        hy = instance.dependencies[y]
+        if v in hy:
+            return True
+        if v not in instance.dependencies:      # some other universal
+            return False
+        if not (instance.dependencies[v] <= hy):
+            return False
+        if v in fixed:
+            return True                          # accepted definition
+        return v not in gate_defs                # plain learnable output
+
+    # Alternate the syntactic fixpoint with Padoa extraction: a gate
+    # definition can become acceptable once the existential it references
+    # is itself extracted semantically.
+    not_unique = set()  # Padoa verdicts are matrix properties: cache them.
+    progressed = True
+    while progressed:
+        progressed = False
+        changed = True
+        while changed:
+            changed = False
+            for y, gate in gate_defs.items():
+                if y in fixed:
+                    continue
+                if all(input_ok(y, v) for v in gate.input_vars):
+                    fixed[y] = gate.expr
+                    stats["gates"] += 1
+                    changed = True
+                    progressed = True
+        for y in instance.existentials:
+            if y in fixed or y in skip or y in not_unique:
+                continue
+            deps = instance.dependencies[y]
+            if len(deps) > max_table_bits:
+                continue
+            if deadline is not None and deadline.expired():
+                return fixed, stats
+            unique = is_uniquely_defined(instance.matrix, y, deps,
+                                         deadline=deadline,
+                                         conflict_budget=conflict_budget,
+                                         rng=rng)
+            if unique:
+                expr = extract_definition(instance.matrix, y, deps,
+                                          max_table_bits=max_table_bits,
+                                          deadline=deadline,
+                                          conflict_budget=conflict_budget,
+                                          rng=rng)
+                if expr is not None:
+                    fixed[y] = expr
+                    stats["padoa"] += 1
+                    progressed = True
+            else:
+                not_unique.add(y)
+    return fixed, stats
+
+
+def preprocess(instance, config, deadline=None, rng=None):
+    """Run the configured preprocessing passes; returns
+    :class:`PreprocessOutcome`."""
+    fixed = {}
+    stats = {"unates": 0, "gates": 0, "padoa": 0}
+    if config.use_unate_detection:
+        unates = detect_unates(instance, deadline=deadline,
+                               conflict_budget=config.sat_conflict_budget,
+                               rng=rng)
+        fixed.update(unates)
+        stats["unates"] = len(unates)
+    if config.use_unique_extraction:
+        unique, unique_stats = extract_unique_functions(
+            instance, skip=fixed,
+            max_table_bits=config.max_unique_table_bits,
+            deadline=deadline, conflict_budget=config.sat_conflict_budget,
+            rng=rng)
+        fixed.update(unique)
+        stats["gates"] = unique_stats["gates"]
+        stats["padoa"] = unique_stats["padoa"]
+    return PreprocessOutcome(fixed, stats)

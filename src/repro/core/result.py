@@ -1,0 +1,59 @@
+"""Result types shared by all synthesis engines (Manthan3 and baselines)."""
+
+
+class Status:
+    """Engine verdicts.
+
+    * ``SYNTHESIZED`` — a Henkin function vector was produced (DQBF True);
+    * ``FALSE`` — the instance was proved False (no vector exists);
+    * ``UNKNOWN`` — the engine gave up for an algorithmic reason
+      (Manthan3's incompleteness, expansion blow-up guard, …);
+    * ``TIMEOUT`` — a wall-clock/conflict budget expired.
+    """
+
+    SYNTHESIZED = "SYNTHESIZED"
+    FALSE = "FALSE"
+    UNKNOWN = "UNKNOWN"
+    TIMEOUT = "TIMEOUT"
+
+
+class SynthesisResult:
+    """Outcome of one engine run on one instance.
+
+    Attributes
+    ----------
+    status:
+        One of the :class:`Status` verdicts.
+    functions:
+        ``{y: BoolExpr over H_y}`` when ``status == SYNTHESIZED``.
+    stats:
+        Engine-specific counters (samples drawn, repair iterations,
+        oracle calls, phase timings, …).
+    reason:
+        Free-text explanation for UNKNOWN/FALSE verdicts.
+    witness:
+        For ``FALSE`` verdicts proved via the extension check: the
+        universal assignment ``{x: bool}`` under which ϕ admits no Y
+        extension.  Independently checkable with
+        :func:`repro.dqbf.certificates.check_false_witness`.  ``None``
+        when the engine proved falsity another way (e.g. an UNSAT
+        expansion).
+    """
+
+    def __init__(self, status, functions=None, stats=None, reason="",
+                 witness=None):
+        self.status = status
+        self.functions = functions
+        self.stats = stats or {}
+        self.reason = reason
+        self.witness = witness
+
+    @property
+    def synthesized(self):
+        return self.status == Status.SYNTHESIZED
+
+    def __repr__(self):
+        extra = ""
+        if self.functions:
+            extra = ", |f|=%d" % len(self.functions)
+        return "SynthesisResult(%s%s)" % (self.status, extra)

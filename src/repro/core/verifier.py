@@ -1,0 +1,76 @@
+"""Candidate verification (Algorithm 1, lines 10–16).
+
+Builds ``E(X, Y') = ¬ϕ(X, Y') ∧ (Y' ↔ f)`` where — unlike the final
+certificate check — candidate functions may still reference other Y
+variables (composition is resolved at substitution time, line 19).  The
+matrix's own Y variables serve as Y′: each is tied to its candidate's
+Tseitin output, so a model δ of E directly yields δ[X] and δ[Y′].
+"""
+
+from repro.formula.cnf import CNF
+from repro.formula.tseitin import TseitinEncoder, negated_cnf_expr
+from repro.sat.solver import Solver, SAT, UNSAT
+from repro.utils.errors import ResourceBudgetExceeded
+
+
+class VerificationOutcome:
+    """Result of one verification round.
+
+    ``verdict`` is ``"VALID"`` (E UNSAT — candidates are Henkin
+    functions), ``"FALSE"`` (some δ[X] admits no Y extension — the DQBF is
+    False), or ``"COUNTEREXAMPLE"`` with the σ components of the paper:
+    ``sigma_x = π[X] = δ[X]``, ``sigma_y = π[Y]`` (a satisfying
+    extension), ``sigma_yp = δ[Y′]`` (current candidate outputs).
+    """
+
+    def __init__(self, verdict, sigma_x=None, sigma_y=None, sigma_yp=None):
+        self.verdict = verdict
+        self.sigma_x = sigma_x
+        self.sigma_y = sigma_y
+        self.sigma_yp = sigma_yp
+
+    def __repr__(self):
+        return "VerificationOutcome(%s)" % self.verdict
+
+
+def build_verification_cnf(instance, candidates):
+    """CNF of ``E(X, Y')`` for the current candidate vector."""
+    cnf = CNF(num_vars=instance.matrix.num_vars)
+    encoder = TseitinEncoder(cnf)
+    encoder.assert_expr(negated_cnf_expr(instance.matrix))
+    for y in instance.existentials:
+        encoder.assert_iff(y, candidates[y])
+    return cnf
+
+
+def verify_candidates(instance, candidates, rng=None, deadline=None,
+                      conflict_budget=None):
+    """Run the two SAT checks of the verification phase.
+
+    Raises :class:`ResourceBudgetExceeded` when an oracle call exhausts
+    its budget (the engine maps this to TIMEOUT).
+    """
+    e_cnf = build_verification_cnf(instance, candidates)
+    solver = Solver(e_cnf, rng=rng)
+    status = solver.solve(deadline=deadline, conflict_budget=conflict_budget)
+    if status == UNSAT:
+        return VerificationOutcome("VALID")
+    if status != SAT:
+        raise ResourceBudgetExceeded("verification SAT call budget")
+    delta = solver.model
+    sigma_x = {x: delta[x] for x in instance.universals}
+    sigma_yp = {y: delta[y] for y in instance.existentials}
+
+    # Does ϕ(X, Y) ∧ (X ↔ δ[X]) have a model?  (Algorithm 1, line 13)
+    ext_solver = Solver(instance.matrix, rng=rng)
+    assumptions = [x if sigma_x[x] else -x for x in instance.universals]
+    ext_status = ext_solver.solve(assumptions=assumptions, deadline=deadline,
+                                  conflict_budget=conflict_budget)
+    if ext_status == UNSAT:
+        return VerificationOutcome("FALSE", sigma_x=sigma_x)
+    if ext_status != SAT:
+        raise ResourceBudgetExceeded("extension SAT call budget")
+    pi = ext_solver.model
+    sigma_y = {y: pi[y] for y in instance.existentials}
+    return VerificationOutcome("COUNTEREXAMPLE", sigma_x=sigma_x,
+                               sigma_y=sigma_y, sigma_yp=sigma_yp)

@@ -1,0 +1,88 @@
+"""Two-level minimization: Quine–McCluskey with a greedy prime cover.
+
+The expansion baseline reconstructs Henkin functions as truth tables; this
+module turns a table into a compact DNF :class:`BoolExpr`.  Exact prime
+generation + greedy set cover is exponential in principle, so callers
+bound input width (tables come from dependency sets that already passed
+the expansion guard).
+"""
+
+from repro.formula import boolfunc as bf
+
+
+def quine_mccluskey(minterms, num_bits, dont_cares=()):
+    """Return prime implicants covering ``minterms``.
+
+    Implicants are ``(value, mask)`` pairs: bit positions with mask 0 are
+    don't-care positions; a minterm ``m`` is covered when
+    ``m & mask == value``.
+    """
+    minterms = sorted(set(minterms))
+    dont_cares = sorted(set(dont_cares) - set(minterms))
+    if not minterms:
+        return []
+    full_mask = (1 << num_bits) - 1
+    current = {(m, full_mask) for m in minterms + dont_cares}
+    primes = set()
+    while current:
+        merged = set()
+        next_level = set()
+        grouped = sorted(current)
+        for i, (v1, m1) in enumerate(grouped):
+            for v2, m2 in grouped[i + 1:]:
+                if m1 != m2:
+                    continue
+                diff = v1 ^ v2
+                if diff and (diff & (diff - 1)) == 0:  # single-bit diff
+                    next_level.add((v1 & ~diff, m1 & ~diff & full_mask))
+                    merged.add((v1, m1))
+                    merged.add((v2, m2))
+        primes |= current - merged
+        current = next_level
+    # Greedy cover of the required minterms.
+    uncovered = set(minterms)
+    chosen = []
+    primes = sorted(primes, key=lambda im: (bin(im[1]).count("1"), im))
+    while uncovered:
+        best = max(primes,
+                   key=lambda im: len({m for m in uncovered
+                                       if m & im[1] == im[0]}))
+        covered = {m for m in uncovered if m & best[1] == best[0]}
+        if not covered:  # pragma: no cover - defensive
+            break
+        chosen.append(best)
+        uncovered -= covered
+    return chosen
+
+
+def implicant_to_expr(implicant, variables):
+    """Cube expression of one ``(value, mask)`` implicant.
+
+    ``variables[i]`` corresponds to bit ``i``.
+    """
+    value, mask = implicant
+    lits = []
+    for i, v in enumerate(variables):
+        if mask & (1 << i):
+            lits.append(bf.var(v) if value & (1 << i) else bf.not_(bf.var(v)))
+    return bf.and_(*lits)
+
+
+def table_to_expr(table, variables):
+    """Minimized DNF for a truth table.
+
+    ``table`` maps row index (bit i = value of ``variables[i]``) to bool;
+    missing rows are don't-cares.  An all-true (all-false) table folds to
+    ``TRUE`` (``FALSE``).
+    """
+    num_bits = len(variables)
+    minterms = [row for row, value in table.items() if value]
+    zeros = [row for row, value in table.items() if not value]
+    dont_cares = [row for row in range(1 << num_bits)
+                  if row not in table] if len(table) < (1 << num_bits) else []
+    if not minterms:
+        return bf.FALSE
+    if not zeros:
+        return bf.TRUE
+    implicants = quine_mccluskey(minterms, num_bits, dont_cares=dont_cares)
+    return bf.or_(*[implicant_to_expr(im, variables) for im in implicants])

@@ -1,0 +1,103 @@
+"""Verilog netlist export for synthesized Henkin function vectors.
+
+Produces a synthesizable structural/dataflow Verilog module so the
+patch functions coming out of the engines (e.g. the ECO use case of the
+paper's introduction) can be dropped into a hardware flow.  Expressions
+are emitted as ``assign`` statements over ``&``, ``|``, ``^``, ``~`` with
+shared subexpressions factored into intermediate wires.
+"""
+
+from repro.formula import boolfunc as bf
+
+
+def _sanitize(name):
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    text = "".join(out)
+    if not text or text[0].isdigit():
+        text = "n_" + text
+    return text
+
+
+def expr_to_verilog(expr, name_of, new_wire, lines, memo):
+    """Emit ``expr``; returns the Verilog operand string.
+
+    DAG nodes referenced more than once get their own wire.
+    """
+    key = id(expr)
+    if key in memo:
+        return memo[key]
+    if expr.op == bf.OP_CONST:
+        text = "1'b1" if expr.payload else "1'b0"
+    elif expr.op == bf.OP_VAR:
+        text = name_of(expr.payload)
+    elif expr.op == bf.OP_NOT:
+        inner = expr_to_verilog(expr.children[0], name_of, new_wire,
+                                lines, memo)
+        text = "~" + inner if _is_atom(inner) else "~(%s)" % inner
+    else:
+        joiner = {bf.OP_AND: " & ", bf.OP_OR: " | ",
+                  bf.OP_XOR: " ^ "}[expr.op]
+        parts = []
+        for child in expr.children:
+            part = expr_to_verilog(child, name_of, new_wire, lines, memo)
+            parts.append(part if _is_atom(part) else "(%s)" % part)
+        text = joiner.join(parts)
+    # Factor non-trivial shared nodes into wires.
+    if expr.op in (bf.OP_AND, bf.OP_OR, bf.OP_XOR) and \
+            expr.dag_size() > 6:
+        wire = new_wire()
+        lines.append("  assign %s = %s;" % (wire, text))
+        text = wire
+    memo[key] = text
+    return text
+
+
+def _is_atom(text):
+    return all(c.isalnum() or c in "_'" for c in text)
+
+
+def write_henkin_verilog(instance, functions, module_name="henkin_patch"):
+    """Verilog module for a synthesized vector of ``instance``.
+
+    Ports: one input per universal (``x<id>``), one output per
+    existential (``y<id>``).
+    """
+    inputs = ["x%d" % x for x in instance.universals]
+    outputs = ["y%d" % y for y in instance.existentials]
+    module_name = _sanitize(module_name)
+
+    lines = []
+    lines.append("// Henkin function vector synthesized by repro")
+    lines.append("// instance: %s" % instance.name)
+    ports = ", ".join(inputs + outputs)
+    lines.append("module %s(%s);" % (module_name, ports))
+    for name in inputs:
+        lines.append("  input %s;" % name)
+    for name in outputs:
+        lines.append("  output %s;" % name)
+
+    body = []
+    wires = []
+    counter = [0]
+
+    def new_wire():
+        counter[0] += 1
+        wire = "t%d" % counter[0]
+        wires.append(wire)
+        return wire
+
+    memo = {}
+    assigns = []
+    for y in instance.existentials:
+        text = expr_to_verilog(functions[y], lambda v: "x%d" % v,
+                               new_wire, body, memo)
+        assigns.append("  assign y%d = %s;" % (y, text))
+
+    for wire in wires:
+        lines.append("  wire %s;" % wire)
+    lines.extend(body)
+    lines.extend(assigns)
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

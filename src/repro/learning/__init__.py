@@ -1,0 +1,20 @@
+"""Machine-learning substrate: binary decision trees.
+
+The paper learns one scikit-learn ``DecisionTreeClassifier`` per
+existential variable (ID3-style growth, Gini impurity) and converts the
+tree into a candidate function by disjoining all root→leaf paths that end
+in a 1-labelled leaf (Algorithm 2, lines 7–10).  This package implements
+exactly that, on 0/1 feature matrices, with the same knobs the paper's
+implementation exposes (maximum depth, minimum impurity decrease).
+"""
+
+from repro.learning.decision_tree import DecisionTree, Leaf, Split
+from repro.learning.tree_to_formula import tree_to_expr, paths_to_label
+
+__all__ = [
+    "DecisionTree",
+    "Leaf",
+    "Split",
+    "tree_to_expr",
+    "paths_to_label",
+]

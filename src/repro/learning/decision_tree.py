@@ -1,0 +1,188 @@
+"""ID3 binary decision trees with the Gini impurity criterion.
+
+Features and labels are binary (0/1).  Feature columns are identified by
+arbitrary hashable ids — the synthesis engine passes variable ids so that
+tree paths convert directly into Boolean formulas over those variables.
+"""
+
+from repro.utils.errors import ReproError
+
+
+class Leaf:
+    """A leaf predicting ``label`` (0 or 1)."""
+
+    __slots__ = ("label", "samples", "impurity")
+
+    def __init__(self, label, samples=0, impurity=0.0):
+        self.label = label
+        self.samples = samples
+        self.impurity = impurity
+
+    def is_leaf(self):
+        return True
+
+
+class Split:
+    """An internal node testing one binary feature."""
+
+    __slots__ = ("feature", "low", "high", "samples")
+
+    def __init__(self, feature, low, high, samples=0):
+        self.feature = feature
+        self.low = low      # subtree for feature == 0
+        self.high = high    # subtree for feature == 1
+        self.samples = samples
+
+    def is_leaf(self):
+        return False
+
+
+def gini(positive, total):
+    """Gini impurity of a binary class distribution."""
+    if total == 0:
+        return 0.0
+    p = positive / total
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTree:
+    """A trained binary decision tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Growth bound (``None`` = unbounded, the engine default — candidate
+        precision matters more than generalization here, as repair fixes
+        overfitting anyway).
+    min_impurity_decrease:
+        Minimum weighted Gini reduction a split must achieve.  The
+        default 0.0 accepts zero-gain splits on impure nodes — required
+        to learn XOR-shaped functions, whose optimal first split has no
+        Gini gain (scikit-learn's default behaves the same way).
+    tie_label:
+        Label predicted by leaves with an exactly balanced class mix.
+    """
+
+    def __init__(self, max_depth=None, min_impurity_decrease=0.0,
+                 tie_label=1):
+        self.max_depth = max_depth
+        self.min_impurity_decrease = min_impurity_decrease
+        self.tie_label = tie_label
+        self.root = None
+        self.features = None
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(self, rows, labels, features):
+        """Train on ``rows`` (list of dicts or sequences) and 0/1 labels.
+
+        ``features`` lists the feature ids; when rows are sequences their
+        positions correspond to this list.
+        """
+        if len(rows) != len(labels):
+            raise ReproError("rows/labels length mismatch")
+        self.features = list(features)
+        if rows and not isinstance(rows[0], dict):
+            rows = [dict(zip(self.features, row)) for row in rows]
+        labels = [1 if l else 0 for l in labels]
+        indices = list(range(len(rows)))
+        self.root = self._grow(rows, labels, indices, self.features, 0)
+        return self
+
+    def _grow(self, rows, labels, indices, features, depth):
+        total = len(indices)
+        positives = sum(labels[i] for i in indices)
+        node_impurity = gini(positives, total)
+
+        if total == 0:
+            return Leaf(self.tie_label, 0, 0.0)
+        if positives == 0 or positives == total:
+            return Leaf(1 if positives else 0, total, 0.0)
+        if self.max_depth is not None and depth >= self.max_depth:
+            return self._majority_leaf(positives, total, node_impurity)
+        if not features:
+            return self._majority_leaf(positives, total, node_impurity)
+
+        best = None
+        for feature in features:
+            n1 = p1 = 0
+            for i in indices:
+                if rows[i][feature]:
+                    n1 += 1
+                    p1 += labels[i]
+            n0 = total - n1
+            p0 = positives - p1
+            if n0 == 0 or n1 == 0:
+                continue  # feature is constant on this node
+            weighted = (n0 * gini(p0, n0) + n1 * gini(p1, n1)) / total
+            decrease = node_impurity - weighted
+            if best is None or decrease > best[0]:
+                best = (decrease, feature)
+        if best is None or best[0] < self.min_impurity_decrease:
+            return self._majority_leaf(positives, total, node_impurity)
+
+        feature = best[1]
+        low_idx = [i for i in indices if not rows[i][feature]]
+        high_idx = [i for i in indices if rows[i][feature]]
+        remaining = [f for f in features if f != feature]
+        return Split(
+            feature,
+            self._grow(rows, labels, low_idx, remaining, depth + 1),
+            self._grow(rows, labels, high_idx, remaining, depth + 1),
+            samples=total,
+        )
+
+    def _majority_leaf(self, positives, total, impurity):
+        if positives * 2 == total:
+            label = self.tie_label
+        else:
+            label = 1 if positives * 2 > total else 0
+        return Leaf(label, total, impurity)
+
+    # ------------------------------------------------------------------
+    # inference / inspection
+    # ------------------------------------------------------------------
+    def predict_one(self, row):
+        """Predict the label of one sample (dict feature→0/1)."""
+        node = self.root
+        while not node.is_leaf():
+            node = node.high if row[node.feature] else node.low
+        return node.label
+
+    def predict(self, rows):
+        if rows and not isinstance(rows[0], dict):
+            rows = [dict(zip(self.features, row)) for row in rows]
+        return [self.predict_one(row) for row in rows]
+
+    def used_features(self):
+        """Set of feature ids actually tested somewhere in the tree.
+
+        Algorithm 2 (lines 11–12) uses this to discover which ``yj``
+        variables the candidate really depends on.
+        """
+        used = set()
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node is not None and not node.is_leaf():
+                used.add(node.feature)
+                stack.append(node.low)
+                stack.append(node.high)
+        return used
+
+    def depth(self):
+        def walk(node):
+            if node.is_leaf():
+                return 0
+            return 1 + max(walk(node.low), walk(node.high))
+
+        return walk(self.root) if self.root is not None else 0
+
+    def leaf_count(self):
+        def walk(node):
+            if node.is_leaf():
+                return 1
+            return walk(node.low) + walk(node.high)
+
+        return walk(self.root) if self.root is not None else 0

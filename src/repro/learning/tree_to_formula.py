@@ -1,0 +1,46 @@
+"""Convert decision trees into Boolean formulas.
+
+Algorithm 2 (lines 7–10): the candidate function is the disjunction, over
+all leaves labelled 1, of the conjunction of feature literals along the
+root→leaf path.  Feature ids must be variable ids for the resulting
+expression to be meaningful.
+"""
+
+from repro.formula import boolfunc as bf
+
+
+def paths_to_label(tree, label=1):
+    """Enumerate root→leaf paths ending in ``label``.
+
+    Each path is a list of ``(feature, polarity)`` pairs where polarity
+    ``True`` means the path took the feature==1 branch.
+    """
+    paths = []
+
+    def walk(node, prefix):
+        if node.is_leaf():
+            if node.label == label:
+                paths.append(list(prefix))
+            return
+        prefix.append((node.feature, False))
+        walk(node.low, prefix)
+        prefix.pop()
+        prefix.append((node.feature, True))
+        walk(node.high, prefix)
+        prefix.pop()
+
+    walk(tree.root, [])
+    return paths
+
+
+def tree_to_expr(tree, label=1):
+    """DNF expression over the tree's 1-paths (per Algorithm 2).
+
+    An all-0 tree yields ``FALSE``; a single 1-leaf root yields ``TRUE``.
+    """
+    terms = []
+    for path in paths_to_label(tree, label=label):
+        lits = [bf.var(f) if polarity else bf.not_(bf.var(f))
+                for f, polarity in path]
+        terms.append(bf.and_(*lits))
+    return bf.or_(*terms)

@@ -1,0 +1,43 @@
+"""Shared result types for the MaxSAT layer."""
+
+
+class SoftClause:
+    """One weight-1 soft clause plus bookkeeping used by the solvers."""
+
+    __slots__ = ("lits", "index")
+
+    def __init__(self, lits, index):
+        self.lits = tuple(lits)
+        self.index = index
+
+    def satisfied_by(self, model):
+        from repro.formula.cnf import lit_var, lit_sign
+
+        return any(model[lit_var(l)] == lit_sign(l) for l in self.lits)
+
+
+class MaxSatResult:
+    """Outcome of a MaxSAT call.
+
+    Attributes
+    ----------
+    satisfiable:
+        ``False`` iff the hard clauses alone are unsatisfiable.
+    cost:
+        Number of falsified soft clauses in the optimal model.
+    model:
+        ``{var: bool}`` over the hard formula's variable range.
+    falsified:
+        Indices (into the caller's soft list) of falsified soft clauses.
+    """
+
+    def __init__(self, satisfiable, cost=None, model=None, falsified=None):
+        self.satisfiable = satisfiable
+        self.cost = cost
+        self.model = model
+        self.falsified = falsified if falsified is not None else []
+
+    def __repr__(self):
+        if not self.satisfiable:
+            return "MaxSatResult(UNSAT hard clauses)"
+        return "MaxSatResult(cost=%d, falsified=%r)" % (self.cost, self.falsified)

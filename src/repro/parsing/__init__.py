@@ -1,0 +1,22 @@
+"""Readers/writers for the QBFEval instance formats.
+
+* DQDIMACS (``a``/``e``/``d`` prefix lines) — the DQBF track format the
+  paper's 563 benchmark instances use;
+* QDIMACS — standard prenex QBF, loaded as a DQBF whose dependency sets
+  are implied by quantifier nesting.
+"""
+
+from repro.parsing.dqdimacs import (
+    parse_dqdimacs,
+    parse_dqdimacs_file,
+    write_dqdimacs,
+)
+from repro.parsing.qdimacs import parse_qdimacs, write_qdimacs
+
+__all__ = [
+    "parse_dqdimacs",
+    "parse_dqdimacs_file",
+    "write_dqdimacs",
+    "parse_qdimacs",
+    "write_qdimacs",
+]

@@ -1,0 +1,175 @@
+"""DQDIMACS parsing and serialization.
+
+The DQBF track format extends QDIMACS with ``d`` lines::
+
+    c comment
+    p cnf 5 3
+    a 1 2 0
+    e 3 0          <- depends on all universals declared so far (1, 2)
+    d 4 1 0        <- depends exactly on {1}
+    a 5 0          <- later universal block (scopes following e lines)
+    ...clauses, DIMACS style...
+
+``e`` variables get an implicit dependency on every universal declared
+*before* them; ``d`` variables carry an explicit Henkin set (which may
+reference any universal of the instance, also later ones, per QBFEval
+practice we require them to be declared first and reject forward
+references).
+"""
+
+from repro.dqbf.instance import DQBFInstance
+from repro.formula.cnf import CNF
+from repro.utils.errors import ParseError
+
+
+def parse_dqdimacs(text, name=None):
+    """Parse DQDIMACS text into a :class:`DQBFInstance`."""
+    num_vars = None
+    num_clauses = None
+    universals = []
+    universal_set = set()
+    dependencies = {}
+    clauses = []
+    header_seen = False
+    prefix_done = False
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        tokens = line.split()
+        kind = tokens[0]
+        if kind == "p":
+            if header_seen:
+                raise ParseError("duplicate 'p' header", line_no)
+            if len(tokens) != 4 or tokens[1] != "cnf":
+                raise ParseError("malformed header %r" % line, line_no)
+            try:
+                num_vars, num_clauses = int(tokens[2]), int(tokens[3])
+            except ValueError:
+                raise ParseError("non-integer header counts", line_no)
+            header_seen = True
+            continue
+        if not header_seen:
+            raise ParseError("clause/prefix before 'p cnf' header", line_no)
+
+        if kind in ("a", "e", "d"):
+            if prefix_done:
+                raise ParseError("prefix line after first clause", line_no)
+            body = _int_body(tokens[1:], line_no)
+            if kind == "a":
+                for v in body:
+                    _check_var(v, num_vars, line_no)
+                    if v in universal_set or v in dependencies:
+                        raise ParseError("variable %d declared twice" % v,
+                                         line_no)
+                    universals.append(v)
+                    universal_set.add(v)
+            elif kind == "e":
+                for v in body:
+                    _check_var(v, num_vars, line_no)
+                    if v in universal_set or v in dependencies:
+                        raise ParseError("variable %d declared twice" % v,
+                                         line_no)
+                    dependencies[v] = list(universals)
+            else:  # d
+                if not body:
+                    raise ParseError("empty 'd' line", line_no)
+                y, deps = body[0], body[1:]
+                _check_var(y, num_vars, line_no)
+                if y in universal_set or y in dependencies:
+                    raise ParseError("variable %d declared twice" % y, line_no)
+                for x in deps:
+                    _check_var(x, num_vars, line_no)
+                    if x not in universal_set:
+                        raise ParseError(
+                            "dependency %d of %d is not a declared universal"
+                            % (x, y), line_no)
+                dependencies[y] = deps
+            continue
+
+        # A clause line.
+        prefix_done = True
+        lits = _clause_body(tokens, line_no)
+        for l in lits:
+            _check_var(abs(l), num_vars, line_no)
+        clauses.append(lits)
+
+    if not header_seen:
+        raise ParseError("missing 'p cnf' header")
+    if num_clauses is not None and len(clauses) != num_clauses:
+        raise ParseError("header promises %d clauses, found %d"
+                         % (num_clauses, len(clauses)))
+
+    matrix = CNF(clauses, num_vars=num_vars)
+    # Undeclared matrix variables: QBFEval treats them as outermost
+    # existentials (no dependencies) — declare them so validation passes.
+    declared = universal_set | set(dependencies)
+    for v in sorted(matrix.variables() - declared):
+        dependencies[v] = []
+    return DQBFInstance(universals, dependencies, matrix, name=name)
+
+
+def parse_dqdimacs_file(path):
+    """Parse a DQDIMACS file; the instance name defaults to the filename."""
+    import os
+
+    with open(path, "r") as handle:
+        text = handle.read()
+    return parse_dqdimacs(text, name=os.path.basename(path))
+
+
+def write_dqdimacs(instance, comment=None):
+    """Serialize a :class:`DQBFInstance` to DQDIMACS text.
+
+    Universals are written as one ``a`` block; every existential gets an
+    explicit ``d`` line (lossless regardless of how the instance was
+    built).
+    """
+    lines = []
+    if comment:
+        for row in comment.splitlines():
+            lines.append("c " + row)
+    lines.append("p cnf %d %d" % (instance.matrix.num_vars,
+                                  len(instance.matrix)))
+    if instance.universals:
+        lines.append("a " + " ".join(str(x) for x in instance.universals)
+                     + " 0")
+    for y in instance.existentials:
+        deps = sorted(instance.dependencies[y])
+        lines.append("d %d %s0" % (y, "".join("%d " % x for x in deps)))
+    for clause in instance.matrix:
+        lines.append(" ".join(str(l) for l in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def _int_body(tokens, line_no):
+    try:
+        values = [int(t) for t in tokens]
+    except ValueError:
+        raise ParseError("non-integer token in prefix line", line_no)
+    if not values or values[-1] != 0:
+        raise ParseError("prefix line must end with 0", line_no)
+    body = values[:-1]
+    if any(v <= 0 for v in body):
+        raise ParseError("prefix variables must be positive", line_no)
+    return body
+
+
+def _clause_body(tokens, line_no):
+    try:
+        values = [int(t) for t in tokens]
+    except ValueError:
+        raise ParseError("non-integer token in clause", line_no)
+    if not values or values[-1] != 0:
+        raise ParseError("clause must end with 0", line_no)
+    lits = values[:-1]
+    if any(l == 0 for l in lits):
+        raise ParseError("literal 0 inside clause", line_no)
+    return lits
+
+
+def _check_var(v, num_vars, line_no):
+    if v < 1 or (num_vars is not None and v > num_vars):
+        raise ParseError("variable %d out of range 1..%s" % (v, num_vars),
+                         line_no)

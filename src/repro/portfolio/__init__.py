@@ -1,0 +1,35 @@
+"""Multi-engine execution and Virtual-Best-Synthesizer analytics.
+
+The paper's evaluation (§6) centres on the VBS: an instance counts as
+solved by a portfolio if at least one member synthesizes functions for
+it, at the minimum member time.  This package runs engine suites over
+instance lists (certificate-checking every claimed vector) and computes
+the quantities behind Figure 6 (cactus), Figures 7–10 (scatters) and the
+solved/unique/fastest counts quoted in the text.
+"""
+
+from repro.portfolio.runner import RunRecord, ResultTable, run_portfolio
+from repro.portfolio.vbs import (
+    vbs_times,
+    cactus_series,
+    scatter_pairs,
+    solved_counts,
+    unique_solves,
+    fastest_counts,
+    within_slack_of_vbs,
+    unsolved_breakdown,
+)
+
+__all__ = [
+    "RunRecord",
+    "ResultTable",
+    "run_portfolio",
+    "vbs_times",
+    "cactus_series",
+    "scatter_pairs",
+    "solved_counts",
+    "unique_solves",
+    "fastest_counts",
+    "within_slack_of_vbs",
+    "unsolved_breakdown",
+]

@@ -1,0 +1,105 @@
+"""Textual evaluation reports: the whole §6 analysis from one table.
+
+:func:`render_report` turns a :class:`~repro.portfolio.runner.ResultTable`
+into the complete set of quantities the paper's evaluation section
+discusses — per-engine solved counts, the VBS comparison of Figure 6,
+per-pair scatter summaries (Figures 7–10), fastest-tool counts, unique
+solves, and the unsolved breakdown.  The benchmark harness and the CLI
+both render through this module so their outputs stay consistent.
+"""
+
+from repro.portfolio.vbs import (
+    cactus_series,
+    fastest_counts,
+    scatter_pairs,
+    solved_counts,
+    unique_solves,
+    unsolved_breakdown,
+    vbs_times,
+    within_slack_of_vbs,
+)
+
+
+def render_report(table, main_engine="manthan3", display_names=None,
+                  slack=10.0):
+    """Render the full evaluation report; returns a list of lines."""
+    engines = table.engines()
+    names = display_names or {e: e for e in engines}
+    others = [e for e in engines if e != main_engine]
+    total = len(table.instances())
+    lines = []
+
+    lines.append("=" * 64)
+    lines.append("Evaluation report: %d instances x %d engines"
+                 % (total, len(engines)))
+    lines.append("=" * 64)
+
+    lines.append("")
+    lines.append("-- solved counts --")
+    for engine, count in sorted(solved_counts(table).items()):
+        lines.append("  %-12s %4d / %d" % (names.get(engine, engine),
+                                           count, total))
+
+    if main_engine in engines and others:
+        without = cactus_series(table, others)
+        with_main = cactus_series(table, engines)
+        lines.append("")
+        lines.append("-- virtual best synthesizer (Figure 6) --")
+        lines.append("  VBS(%s): %d solved"
+                     % (", ".join(names.get(e, e) for e in others),
+                        len(without)))
+        lines.append("  VBS(all): %d solved (+%d from %s)"
+                     % (len(with_main), len(with_main) - len(without),
+                        names.get(main_engine, main_engine)))
+        hits = within_slack_of_vbs(table, main_engine, others,
+                                   slack=slack)
+        lines.append("  %s within +%.0f s of VBS(others) on %d instances"
+                     % (names.get(main_engine, main_engine), slack,
+                        len(hits)))
+
+    lines.append("")
+    lines.append("-- pairwise comparisons (Figures 7-10) --")
+    for i, a in enumerate(engines):
+        for b in engines[i + 1:]:
+            pairs = scatter_pairs(table, a, b)
+            timeout = table.timeout or float("inf")
+            a_only = sum(1 for _, ta, tb in pairs
+                         if ta < timeout <= tb)
+            b_only = sum(1 for _, ta, tb in pairs
+                         if tb < timeout <= ta)
+            lines.append("  %s vs %s: %d only-%s, %d only-%s"
+                         % (names.get(a, a), names.get(b, b),
+                            a_only, names.get(a, a),
+                            b_only, names.get(b, b)))
+
+    lines.append("")
+    lines.append("-- fastest engine per instance --")
+    for engine, count in sorted(fastest_counts(table).items()):
+        lines.append("  %-12s fastest on %d" % (names.get(engine, engine),
+                                                count))
+
+    lines.append("")
+    lines.append("-- unique solves --")
+    for engine in engines:
+        uniques = unique_solves(table, engine,
+                                [e for e in engines if e != engine])
+        lines.append("  only %-12s %d" % (names.get(engine, engine),
+                                          len(uniques)))
+        for name in uniques:
+            lines.append("      %s" % name)
+
+    if main_engine in engines:
+        solvable = set(vbs_times(table, engines))
+        breakdown = unsolved_breakdown(table, main_engine)
+        missed_unknown = [i for i in breakdown.get("UNKNOWN", ())
+                          if i in solvable]
+        missed_timeout = [i for i in breakdown.get("TIMEOUT", ())
+                          if i in solvable]
+        lines.append("")
+        lines.append("-- %s unsolved-but-solvable breakdown --"
+                     % names.get(main_engine, main_engine))
+        lines.append("  incompleteness (UNKNOWN): %d"
+                     % len(missed_unknown))
+        lines.append("  timeout:                  %d"
+                     % len(missed_timeout))
+    return lines

@@ -1,0 +1,124 @@
+"""Run synthesis engines over instance suites, with certification.
+
+Every ``SYNTHESIZED`` claim is re-validated by the independent
+certificate checker; a vector that fails certification is recorded as
+``INVALID`` and does *not* count as solved (an engine must never be able
+to cheat the evaluation).
+"""
+
+from repro.core.result import Status
+from repro.dqbf.certificates import check_henkin_vector
+
+
+class RunRecord:
+    """One (engine, instance) execution."""
+
+    __slots__ = ("engine", "instance", "status", "time", "reason",
+                 "certified", "stats")
+
+    def __init__(self, engine, instance, status, time, reason="",
+                 certified=None, stats=None):
+        self.engine = engine
+        self.instance = instance
+        self.status = status
+        self.time = time
+        self.reason = reason
+        self.certified = certified
+        self.stats = stats or {}
+
+    @property
+    def solved(self):
+        """Solved = synthesized a vector that passed certification."""
+        return self.status == Status.SYNTHESIZED and self.certified is True
+
+    def __repr__(self):
+        return "RunRecord(%s, %s, %s, %.3fs)" % (
+            self.engine, self.instance, self.status, self.time)
+
+
+class ResultTable:
+    """All records of one evaluation campaign."""
+
+    def __init__(self, records=None, timeout=None):
+        self.records = list(records or [])
+        self.timeout = timeout
+
+    def add(self, record):
+        self.records.append(record)
+
+    def engines(self):
+        return sorted({r.engine for r in self.records})
+
+    def instances(self):
+        seen = {}
+        for r in self.records:
+            seen.setdefault(r.instance, None)
+        return list(seen)
+
+    def record_for(self, engine, instance):
+        for r in self.records:
+            if r.engine == engine and r.instance == instance:
+                return r
+        return None
+
+    def by_engine(self, engine):
+        return [r for r in self.records if r.engine == engine]
+
+    def solved_instances(self, engine):
+        return {r.instance for r in self.by_engine(engine) if r.solved}
+
+    def time_of(self, engine, instance):
+        """Solve time, or ``None`` when unsolved."""
+        record = self.record_for(engine, instance)
+        if record is not None and record.solved:
+            return record.time
+        return None
+
+
+def run_portfolio(instances, engines, timeout=None, certify=True,
+                  certificate_budget=200_000, progress=None):
+    """Run every engine on every instance.
+
+    Parameters
+    ----------
+    instances:
+        Iterable of :class:`~repro.dqbf.instance.DQBFInstance`.
+    engines:
+        Iterable of engine objects exposing ``name`` and
+        ``run(instance, timeout)``.
+    timeout:
+        Per-run wall-clock budget in seconds.
+    certify:
+        Re-check every claimed vector with the independent checker.
+    certificate_budget:
+        Conflict budget for certification SAT calls.
+    progress:
+        Optional callback ``(record) -> None`` for live reporting.
+
+    Returns a :class:`ResultTable`.
+    """
+    table = ResultTable(timeout=timeout)
+    for instance in instances:
+        for engine in engines:
+            result = engine.run(instance, timeout=timeout)
+            certified = None
+            if result.status == Status.SYNTHESIZED and certify:
+                cert = check_henkin_vector(
+                    instance, result.functions,
+                    conflict_budget=certificate_budget)
+                certified = bool(cert.valid)
+            elif result.status == Status.SYNTHESIZED:
+                certified = True
+            record = RunRecord(
+                engine=engine.name,
+                instance=instance.name,
+                status=result.status if certified is not False else "INVALID",
+                time=result.stats.get("wall_time", 0.0),
+                reason=result.reason,
+                certified=certified,
+                stats=result.stats,
+            )
+            table.add(record)
+            if progress is not None:
+                progress(record)
+    return table

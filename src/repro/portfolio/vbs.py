@@ -1,0 +1,116 @@
+"""Virtual-Best-Synthesizer analytics (the quantities behind §6).
+
+All functions take a :class:`~repro.portfolio.runner.ResultTable`; engine
+subsets are passed as name lists so the same table yields
+``VBS(HQS2, Pedant)`` and ``VBS(HQS2, Pedant, Manthan3)`` (Figure 6).
+"""
+
+
+def vbs_times(table, engine_names):
+    """Per-instance VBS time: min over members that solved it.
+
+    Returns ``{instance: time}`` for instances solved by ≥1 member.
+    """
+    out = {}
+    for instance in table.instances():
+        times = [table.time_of(e, instance) for e in engine_names]
+        times = [t for t in times if t is not None]
+        if times:
+            out[instance] = min(times)
+    return out
+
+
+def cactus_series(table, engine_names):
+    """Sorted runtimes — the y-values of a cactus plot (Figure 6).
+
+    Point ``(k, series[k-1])`` reads "k instances solved within that
+    time each".
+    """
+    return sorted(vbs_times(table, engine_names).values())
+
+
+def scatter_pairs(table, engine_a, engine_b, timeout_value=None):
+    """Per-instance (time_a, time_b) pairs for Figures 7–10.
+
+    ``engine_a``/``engine_b`` may be single names or name lists (a list
+    denotes a VBS side, as in Figure 7).  Unsolved sides are reported as
+    ``timeout_value`` (default: the table's timeout), matching how the
+    paper plots timeout bands.
+    """
+    if timeout_value is None:
+        timeout_value = table.timeout
+    names_a = [engine_a] if isinstance(engine_a, str) else list(engine_a)
+    names_b = [engine_b] if isinstance(engine_b, str) else list(engine_b)
+    times_a = vbs_times(table, names_a)
+    times_b = vbs_times(table, names_b)
+    pairs = []
+    for instance in table.instances():
+        ta = times_a.get(instance, timeout_value)
+        tb = times_b.get(instance, timeout_value)
+        pairs.append((instance, ta, tb))
+    return pairs
+
+
+def solved_counts(table, engine_names=None):
+    """``{engine: #solved}`` (the 148/138/116 numbers of §6)."""
+    engine_names = engine_names or table.engines()
+    return {e: len(table.solved_instances(e)) for e in engine_names}
+
+
+def unique_solves(table, engine, others):
+    """Instances ``engine`` solved that none of ``others`` solved
+    (the paper's 26-instances-only-Manthan3 figure)."""
+    mine = table.solved_instances(engine)
+    for other in others:
+        mine -= table.solved_instances(other)
+    return sorted(mine)
+
+
+def fastest_counts(table, engine_names=None):
+    """``{engine: #instances where it was strictly the fastest solver}``
+    (the paper's 42-shortest-time count; ties go to the earlier name)."""
+    engine_names = engine_names or table.engines()
+    counts = {e: 0 for e in engine_names}
+    for instance in table.instances():
+        best_engine = None
+        best_time = None
+        for e in engine_names:
+            t = table.time_of(e, instance)
+            if t is not None and (best_time is None or t < best_time):
+                best_engine, best_time = e, t
+        if best_engine is not None:
+            counts[best_engine] += 1
+    return counts
+
+
+def within_slack_of_vbs(table, engine, others, slack=10.0):
+    """Instances where ``engine`` is at most ``slack`` seconds slower
+    than VBS(others) — the green band of Figure 7 (paper: 47 instances
+    within 10 s)."""
+    mine = {}
+    for instance in table.instances():
+        t = table.time_of(engine, instance)
+        if t is not None:
+            mine[instance] = t
+    vbs = vbs_times(table, others)
+    hits = []
+    for instance, t in mine.items():
+        reference = vbs.get(instance)
+        if reference is None or t <= reference + slack:
+            hits.append(instance)
+    return sorted(hits)
+
+
+def unsolved_breakdown(table, engine):
+    """Split an engine's unsolved instances by cause.
+
+    The paper reports Manthan3's 88 unsolved-but-solvable split into 49
+    incompleteness cases vs timeouts; we mirror it with the engine's
+    UNKNOWN (incompleteness/guard) vs TIMEOUT statuses.
+    """
+    breakdown = {"UNKNOWN": [], "TIMEOUT": [], "FALSE": [], "INVALID": []}
+    for record in table.by_engine(engine):
+        if record.solved:
+            continue
+        breakdown.setdefault(record.status, []).append(record.instance)
+    return breakdown

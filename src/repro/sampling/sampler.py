@@ -1,0 +1,88 @@
+"""Randomized CDCL sampling with adaptive polarity weighting."""
+
+from repro.sat.solver import Solver, SAT, UNSAT
+from repro.utils.errors import ResourceBudgetExceeded
+from repro.utils.rng import make_rng, spawn
+
+
+class Sampler:
+    """Draw satisfying assignments of a CNF.
+
+    Parameters
+    ----------
+    cnf:
+        The specification ϕ.
+    rng:
+        Seed or RNG for reproducible sampling.
+    weighted_vars:
+        Variables whose polarity weight is adapted (Manthan biases the
+        existential Y variables); others branch uniformly at random.
+    pilot:
+        Number of pilot samples used to estimate marginals before
+        adaptive weights kick in.
+    bias_floor / bias_ceiling:
+        Clamp for adapted weights; Manthan uses 0.1/0.9 so no variable is
+        ever sampled one-sidedly.
+    """
+
+    def __init__(self, cnf, rng=None, weighted_vars=(), pilot=10,
+                 bias_floor=0.1, bias_ceiling=0.9):
+        self.cnf = cnf
+        self.rng = make_rng(rng)
+        self.weighted_vars = list(weighted_vars)
+        self.pilot = pilot
+        self.bias_floor = bias_floor
+        self.bias_ceiling = bias_ceiling
+        self._weights = {}
+        self._true_counts = {v: 0 for v in self.weighted_vars}
+        self._drawn = 0
+
+    def _solver(self, salt):
+        return Solver(
+            self.cnf,
+            rng=spawn(self.rng, salt),
+            polarity_mode="weighted",
+            random_var_freq=0.2,
+            polarity_weights=dict(self._weights),
+        )
+
+    def _update_weights(self, model):
+        self._drawn += 1
+        for v in self.weighted_vars:
+            if model[v]:
+                self._true_counts[v] += 1
+        if self._drawn >= self.pilot:
+            for v in self.weighted_vars:
+                p = self._true_counts[v] / self._drawn
+                self._weights[v] = min(self.bias_ceiling,
+                                       max(self.bias_floor, p))
+
+    def draw(self, count, deadline=None, conflict_budget=None):
+        """Return up to ``count`` models (fewer only if ϕ is UNSAT).
+
+        Each model is a ``{var: bool}`` dict over the CNF's variables.
+        Raises :class:`ResourceBudgetExceeded` if a SAT call exhausts its
+        budget.
+        """
+        samples = []
+        for i in range(count):
+            if deadline is not None:
+                deadline.check()
+            solver = self._solver(i)
+            status = solver.solve(conflict_budget=conflict_budget,
+                                  deadline=deadline)
+            if status == UNSAT:
+                break
+            if status != SAT:
+                raise ResourceBudgetExceeded("sampling budget exceeded")
+            samples.append(solver.model)
+            self._update_weights(solver.model)
+        return samples
+
+
+def sample_models(cnf, count, rng=None, weighted_vars=(), deadline=None,
+                  conflict_budget=None):
+    """One-shot convenience wrapper around :class:`Sampler`."""
+    sampler = Sampler(cnf, rng=rng, weighted_vars=weighted_vars)
+    return sampler.draw(count, deadline=deadline,
+                        conflict_budget=conflict_budget)

@@ -1,0 +1,45 @@
+"""XOR (parity) constraints for hash-based sampling.
+
+A random XOR over a variable set splits the solution space into two
+roughly equal cells; stacking ``k`` of them isolates a ``2^-k`` fraction.
+Sampling inside the cell and discarding the hash variables approximates
+uniform sampling with pairwise-independence guarantees (the UniGen
+family).  The Manthan3 pipeline does not require this strength — it is
+provided as the documented "stronger uniformity" option and exercised by
+property tests.
+"""
+
+
+def add_parity_constraint(cnf, variables, parity):
+    """Add CNF clauses enforcing ``XOR(variables) = parity``.
+
+    Uses a linear chain of fresh variables: ``c_i ↔ c_{i-1} ⊕ v_i``, so
+    clause count stays linear in ``len(variables)``.
+    """
+    variables = list(variables)
+    if not variables:
+        if parity:  # XOR() = 0, so requiring 1 is a contradiction
+            cnf.add_clause(())
+        return
+    acc = variables[0]
+    for v in variables[1:]:
+        nxt = cnf.fresh_var()
+        # nxt ↔ acc ⊕ v
+        cnf.add_clause((-nxt, acc, v))
+        cnf.add_clause((-nxt, -acc, -v))
+        cnf.add_clause((nxt, -acc, v))
+        cnf.add_clause((nxt, acc, -v))
+        acc = nxt
+    cnf.add_unit(acc if parity else -acc)
+
+
+def random_xor_constraints(cnf, variables, count, rng):
+    """Conjoin ``count`` random XORs over ``variables`` (density 1/2).
+
+    Mutates ``cnf`` in place and returns it for chaining.
+    """
+    variables = list(variables)
+    for _ in range(count):
+        chosen = [v for v in variables if rng.random() < 0.5]
+        add_parity_constraint(cnf, chosen, rng.random() < 0.5)
+    return cnf

@@ -1,0 +1,27 @@
+"""SAT solving substrate.
+
+A from-scratch CDCL solver (:class:`~repro.sat.solver.Solver`) in the
+PicoSAT/MiniSat tradition: two-watched-literal propagation, first-UIP
+clause learning with minimization, VSIDS branching, phase saving, Luby
+restarts, learnt-clause garbage collection, an *assumption* interface, and
+final-conflict analysis that yields UNSAT cores over the assumptions —
+which is exactly the `FindCore` primitive Algorithm 3 of the paper needs.
+
+The solver also exposes randomized polarity/branching knobs that the
+constrained sampler (:mod:`repro.sampling`) builds on, playing the role of
+CMSGen.
+"""
+
+from repro.sat.solver import Solver, SAT, UNSAT, UNKNOWN, solve_cnf
+from repro.sat.enumerate import enumerate_models, count_models, block_assignment
+
+__all__ = [
+    "Solver",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "solve_cnf",
+    "enumerate_models",
+    "count_models",
+    "block_assignment",
+]

@@ -1,0 +1,49 @@
+"""Model enumeration helpers built on the CDCL solver.
+
+Used for truth-table reconstruction in the expansion baseline, for
+definition extraction over small dependency sets, and heavily in tests to
+check semantic equivalence of formulas.
+"""
+
+from repro.sat.solver import Solver, SAT, UNSAT
+from repro.utils.errors import ResourceBudgetExceeded
+
+
+def block_assignment(solver, model, variables):
+    """Add a clause forbidding ``model`` restricted to ``variables``."""
+    solver.add_clause([-v if model[v] else v for v in variables])
+
+
+def enumerate_models(cnf, variables=None, limit=None, rng=None,
+                     conflict_budget=None, deadline=None):
+    """Yield models of ``cnf`` projected onto ``variables``.
+
+    Each yielded model is a dict over *all* solver variables; successive
+    models differ on the projection set.  ``limit`` bounds the number of
+    models; ``conflict_budget``/``deadline`` bound effort per SAT call and
+    raise :class:`ResourceBudgetExceeded` when a call comes back UNKNOWN.
+    """
+    solver = Solver(cnf, rng=rng)
+    if variables is None:
+        variables = sorted(cnf.variables())
+    variables = list(variables)
+    produced = 0
+    while limit is None or produced < limit:
+        status = solver.solve(conflict_budget=conflict_budget,
+                              deadline=deadline)
+        if status == UNSAT:
+            return
+        if status != SAT:
+            raise ResourceBudgetExceeded("model enumeration budget exceeded")
+        model = solver.model
+        yield model
+        produced += 1
+        if not variables:
+            return  # only the empty projection: one class total
+        block_assignment(solver, model, variables)
+
+
+def count_models(cnf, variables=None, limit=None, **kwargs):
+    """Count models projected onto ``variables`` (up to ``limit``)."""
+    return sum(1 for _ in enumerate_models(cnf, variables=variables,
+                                           limit=limit, **kwargs))

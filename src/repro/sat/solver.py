@@ -1,0 +1,579 @@
+"""A CDCL SAT solver with assumptions and UNSAT-core extraction.
+
+Design notes
+------------
+* External interface uses DIMACS literals (non-zero ints); internally,
+  literal ``l`` indexes watch lists at ``2*v`` (positive) / ``2*v + 1``
+  (negative) where ``v = |l|``.
+* First-UIP learning with basic (non-recursive) clause minimization.
+* VSIDS via a lazily-cleaned binary heap; activities rescaled on overflow.
+* Phase saving with configurable default polarity; both polarity and
+  branching can be randomized, which the sampler uses to draw diverse
+  models.
+* Assumption solving follows MiniSat: assumptions are replayed as the
+  first decisions; a falsified assumption triggers final-conflict analysis
+  that produces a core — the subset of assumptions sufficient for UNSAT.
+* Budgets: ``conflict_budget`` and a wall-clock ``deadline`` make
+  :meth:`Solver.solve` return :data:`UNKNOWN` instead of diverging, which
+  the engines surface as a timeout.
+"""
+
+from repro.utils.rng import make_rng
+
+SAT = "SAT"
+UNSAT = "UNSAT"
+UNKNOWN = "UNKNOWN"
+
+_RESCALE_LIMIT = 1e100
+_RESCALE_FACTOR = 1e-100
+
+
+class _Clause:
+    """A clause in the solver database (problem or learnt)."""
+
+    __slots__ = ("lits", "learnt", "activity")
+
+    def __init__(self, lits, learnt=False):
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+
+
+def _luby(y, x):
+    """The Luby restart sequence value ``luby(y, x)`` (MiniSat's version)."""
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x = x % size
+    return y ** seq
+
+
+class Solver:
+    """CDCL SAT solver.
+
+    Parameters
+    ----------
+    cnf:
+        Optional :class:`~repro.formula.cnf.CNF` loaded at construction.
+    rng:
+        Seed or ``random.Random`` for randomized heuristics.
+    polarity_mode:
+        ``"saved"`` (phase saving, the default), ``"false"``, ``"true"``,
+        or ``"random"`` (used by the sampler).
+    random_var_freq:
+        Probability of branching on a random unassigned variable instead
+        of the VSIDS maximum (sampler diversification).
+    """
+
+    def __init__(self, cnf=None, rng=None, polarity_mode="saved",
+                 random_var_freq=0.0, default_phase=False,
+                 polarity_weights=None):
+        self.rng = make_rng(rng)
+        self.polarity_mode = polarity_mode
+        self.random_var_freq = random_var_freq
+        self.default_phase = default_phase
+        # var -> probability of branching True (mode "weighted"); the
+        # sampler adapts these to bias the distribution of drawn models.
+        self.polarity_weights = polarity_weights if polarity_weights is not None else {}
+
+        self.num_vars = 0
+        self.assigns = [None]          # var -> None/True/False, 1-based
+        self.level = [0]
+        self.reason = [None]
+        self.activity = [0.0]
+        self.phase = [default_phase]
+        self.watches = [[], []]        # lit index -> list of clauses
+
+        self.clauses = []              # problem clauses
+        self.learnts = []
+        self.trail = []
+        self.trail_lim = []
+        self.qhead = 0
+        self.ok = True                 # False once root-level conflict found
+
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.cla_inc = 1.0
+        self.cla_decay = 0.999
+        self._heap = []                # lazy (-activity, var) entries
+        self._in_heap = [False]
+
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+
+        self.model = None              # dict var -> bool after SAT
+        self.core = None               # list of assumption lits after UNSAT
+
+        if cnf is not None:
+            self.add_cnf(cnf)
+
+    # ------------------------------------------------------------------
+    # variable / clause management
+    # ------------------------------------------------------------------
+    def ensure_vars(self, n):
+        """Grow the variable space to at least ``n`` variables."""
+        import heapq
+
+        while self.num_vars < n:
+            self.num_vars += 1
+            self.assigns.append(None)
+            self.level.append(0)
+            self.reason.append(None)
+            self.activity.append(0.0)
+            self.phase.append(self.default_phase)
+            self.watches.append([])
+            self.watches.append([])
+            self._in_heap.append(True)
+            heapq.heappush(self._heap, (0.0, self.num_vars))
+
+    def add_cnf(self, cnf):
+        """Load all clauses of a :class:`~repro.formula.cnf.CNF`."""
+        self.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            self.add_clause(clause)
+        return self.ok
+
+    def add_clause(self, lits):
+        """Add a problem clause; returns ``False`` on root-level conflict."""
+        if not self.ok:
+            return False
+        lits = [int(l) for l in lits]
+        for l in lits:
+            self.ensure_vars(abs(l))
+        # Root-level simplification: drop falsified lits, detect tautology.
+        seen = set()
+        out = []
+        for l in lits:
+            if -l in seen:
+                return True  # tautology: trivially satisfied
+            if l in seen:
+                continue
+            value = self._value(l)
+            if value is True and self.level[abs(l)] == 0:
+                return True
+            if value is False and self.level[abs(l)] == 0:
+                continue
+            seen.add(l)
+            out.append(l)
+        if not out:
+            self.ok = False
+            return False
+        if len(out) == 1:
+            if not self._enqueue(out[0], None):
+                self.ok = False
+                return False
+            self.ok = self._propagate() is None
+            return self.ok
+        clause = _Clause(out, learnt=False)
+        self.clauses.append(clause)
+        self._watch(clause)
+        return True
+
+    def _watch(self, clause):
+        self.watches[self._widx(-clause.lits[0])].append(clause)
+        self.watches[self._widx(-clause.lits[1])].append(clause)
+
+    @staticmethod
+    def _widx(lit):
+        v = lit if lit > 0 else -lit
+        return 2 * v + (0 if lit > 0 else 1)
+
+    # ------------------------------------------------------------------
+    # assignment primitives
+    # ------------------------------------------------------------------
+    def _value(self, lit):
+        v = self.assigns[abs(lit)]
+        if v is None:
+            return None
+        return v if lit > 0 else not v
+
+    def _enqueue(self, lit, reason):
+        value = self._value(lit)
+        if value is not None:
+            return value
+        v = abs(lit)
+        self.assigns[v] = lit > 0
+        self.level[v] = self._decision_level()
+        self.reason[v] = reason
+        self.trail.append(lit)
+        return True
+
+    def _decision_level(self):
+        return len(self.trail_lim)
+
+    def _new_decision_level(self):
+        self.trail_lim.append(len(self.trail))
+
+    def _cancel_until(self, target_level):
+        import heapq
+
+        if self._decision_level() <= target_level:
+            return
+        bound = self.trail_lim[target_level]
+        for i in range(len(self.trail) - 1, bound - 1, -1):
+            lit = self.trail[i]
+            v = abs(lit)
+            self.phase[v] = self.assigns[v]
+            self.assigns[v] = None
+            self.reason[v] = None
+            if not self._in_heap[v]:
+                self._in_heap[v] = True
+                heapq.heappush(self._heap, (-self.activity[v], v))
+        del self.trail[bound:]
+        del self.trail_lim[target_level:]
+        self.qhead = len(self.trail)
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+    def _propagate(self):
+        """Unit propagation; returns the conflicting clause or ``None``."""
+        while self.qhead < len(self.trail):
+            p = self.trail[self.qhead]
+            self.qhead += 1
+            self.propagations += 1
+            # Clauses watching ¬p (registered under _widx(p)) may now be unit.
+            idx = self._widx(p)
+            ws = self.watches[idx]
+            kept = []
+            i = 0
+            n = len(ws)
+            while i < n:
+                clause = ws[i]
+                i += 1
+                lits = clause.lits
+                # Ensure the falsified watched literal sits at index 1.
+                if lits[0] == -p:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value(first) is True:
+                    kept.append(clause)
+                    continue
+                # Look for a new watch.
+                found = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) is not False:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self.watches[self._widx(-lits[1])].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                kept.append(clause)
+                if self._value(first) is False:
+                    # Conflict: restore remaining watchers and bail out.
+                    kept.extend(ws[i:n])
+                    self.watches[idx] = kept
+                    self.qhead = len(self.trail)
+                    return clause
+                self._enqueue(first, clause)
+            self.watches[idx] = kept
+        return None
+
+    # ------------------------------------------------------------------
+    # conflict analysis
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict):
+        """First-UIP analysis.
+
+        Returns ``(learnt_lits, backtrack_level)`` with the asserting
+        literal first in ``learnt_lits``.
+        """
+        learnt = [None]
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        p = None
+        reason_lits = conflict.lits
+        index = len(self.trail)
+
+        while True:
+            if isinstance(reason_lits, _Clause):  # pragma: no cover
+                reason_lits = reason_lits.lits
+            for q in reason_lits:
+                if p is not None and q == p:
+                    continue
+                v = abs(q)
+                if not seen[v] and self.level[v] > 0:
+                    seen[v] = True
+                    self._bump_var(v)
+                    if self.level[v] >= self._decision_level():
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Walk the trail back to the next marked literal.
+            while True:
+                index -= 1
+                p = self.trail[index]
+                if seen[abs(p)]:
+                    break
+            counter -= 1
+            seen[abs(p)] = False
+            if counter == 0:
+                learnt[0] = -p
+                break
+            reason = self.reason[abs(p)]
+            reason_lits = reason.lits if reason is not None else ()
+            if reason is not None and reason.learnt:
+                self._bump_clause(reason)
+
+        # Minimize: drop literals whose reason is subsumed by the clause.
+        marked = set(abs(l) for l in learnt[1:])
+        minimized = [learnt[0]]
+        for l in learnt[1:]:
+            reason = self.reason[abs(l)]
+            if reason is None:
+                minimized.append(l)
+                continue
+            if all(abs(q) in marked or self.level[abs(q)] == 0
+                   for q in reason.lits if q != -l):
+                continue  # redundant literal
+            minimized.append(l)
+        learnt = minimized
+
+        if len(learnt) == 1:
+            bt_level = 0
+        else:
+            # Second-highest decision level in the clause.
+            max_i = 1
+            for i in range(2, len(learnt)):
+                if self.level[abs(learnt[i])] > self.level[abs(learnt[max_i])]:
+                    max_i = i
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            bt_level = self.level[abs(learnt[1])]
+        return learnt, bt_level
+
+    def _analyze_final(self, p):
+        """Compute the subset of assumptions responsible for falsifying
+        assumption literal ``p`` (MiniSat's ``analyzeFinal``)."""
+        core = [p]
+        if self._decision_level() == 0:
+            return core
+        seen = [False] * (self.num_vars + 1)
+        seen[abs(p)] = True
+        for i in range(len(self.trail) - 1, self.trail_lim[0] - 1, -1):
+            lit = self.trail[i]
+            v = abs(lit)
+            if not seen[v]:
+                continue
+            reason = self.reason[v]
+            if reason is None:
+                # A decision at an assumption level *is* an assumption.
+                core.append(lit)
+            else:
+                for q in reason.lits:
+                    if self.level[abs(q)] > 0:
+                        seen[abs(q)] = True
+            seen[v] = False
+        return core
+
+    # ------------------------------------------------------------------
+    # heuristics
+    # ------------------------------------------------------------------
+    def _bump_var(self, v):
+        import heapq
+
+        self.activity[v] += self.var_inc
+        if self.activity[v] > _RESCALE_LIMIT:
+            for i in range(1, self.num_vars + 1):
+                self.activity[i] *= _RESCALE_FACTOR
+            self.var_inc *= _RESCALE_FACTOR
+        heapq.heappush(self._heap, (-self.activity[v], v))
+        self._in_heap[v] = True
+
+    def _decay_activities(self):
+        self.var_inc /= self.var_decay
+        self.cla_inc /= self.cla_decay
+
+    def _bump_clause(self, clause):
+        clause.activity += self.cla_inc
+        if clause.activity > _RESCALE_LIMIT:
+            for c in self.learnts:
+                c.activity *= _RESCALE_FACTOR
+            self.cla_inc *= _RESCALE_FACTOR
+
+    def _pick_branch_var(self):
+        import heapq
+
+        if self.random_var_freq > 0 and self.rng.random() < self.random_var_freq:
+            free = [v for v in range(1, self.num_vars + 1)
+                    if self.assigns[v] is None]
+            if free:
+                return self.rng.choice(free)
+        while self._heap:
+            neg_act, v = heapq.heappop(self._heap)
+            self._in_heap[v] = False
+            if self.assigns[v] is not None:
+                continue
+            if -neg_act != self.activity[v]:
+                # Stale entry: reinsert with the fresh activity and retry.
+                heapq.heappush(self._heap, (-self.activity[v], v))
+                self._in_heap[v] = True
+                continue
+            return v
+        for v in range(1, self.num_vars + 1):
+            if self.assigns[v] is None:
+                return v
+        return None
+
+    def _pick_polarity(self, v):
+        if self.polarity_mode == "random":
+            return self.rng.random() < 0.5
+        if self.polarity_mode == "weighted":
+            return self.rng.random() < self.polarity_weights.get(v, 0.5)
+        if self.polarity_mode == "true":
+            return True
+        if self.polarity_mode == "false":
+            return False
+        return self.phase[v]
+
+    # ------------------------------------------------------------------
+    # learnt DB management
+    # ------------------------------------------------------------------
+    def _reduce_db(self):
+        """Remove roughly half of the learnt clauses, lowest activity first.
+
+        Clauses currently acting as a reason and binary clauses survive.
+        """
+        self.learnts.sort(key=lambda c: c.activity)
+        keep_from = len(self.learnts) // 2
+        removed = set()
+        kept = []
+        for i, clause in enumerate(self.learnts):
+            locked = self.reason[abs(clause.lits[0])] is clause
+            if i < keep_from and len(clause.lits) > 2 and not locked:
+                removed.add(id(clause))
+            else:
+                kept.append(clause)
+        self.learnts = kept
+        if removed:
+            for idx in range(2, len(self.watches)):
+                self.watches[idx] = [c for c in self.watches[idx]
+                                     if id(c) not in removed]
+
+    # ------------------------------------------------------------------
+    # main search
+    # ------------------------------------------------------------------
+    def solve(self, assumptions=(), conflict_budget=None, deadline=None):
+        """Solve under ``assumptions`` (an iterable of literals).
+
+        Returns :data:`SAT`, :data:`UNSAT`, or :data:`UNKNOWN` (budget ran
+        out).  After :data:`SAT`, :attr:`model` holds ``{var: bool}`` over
+        all variables; after :data:`UNSAT` under assumptions, :attr:`core`
+        holds a subset of the assumptions sufficient for unsatisfiability
+        (empty when the formula is unconditionally UNSAT).
+        """
+        self.model = None
+        self.core = None
+        assumptions = [int(l) for l in assumptions]
+        for l in assumptions:
+            self.ensure_vars(abs(l))
+        if not self.ok:
+            self.core = []
+            return UNSAT
+
+        start_conflicts = self.conflicts
+        restart_base = 100
+        restart_round = 0
+        max_learnts = max(1000, len(self.clauses) // 3)
+
+        while True:
+            budget = restart_base * _luby(2.0, restart_round)
+            restart_round += 1
+            status = self._search(int(budget), assumptions,
+                                  start_conflicts, conflict_budget,
+                                  deadline, max_learnts)
+            if status is not None:
+                self._cancel_until(0)
+                return status
+            self.restarts += 1
+            if conflict_budget is not None and \
+                    self.conflicts - start_conflicts >= conflict_budget:
+                self._cancel_until(0)
+                return UNKNOWN
+            if deadline is not None and deadline.expired():
+                self._cancel_until(0)
+                return UNKNOWN
+
+    def _search(self, restart_budget, assumptions, start_conflicts,
+                conflict_budget, deadline, max_learnts):
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if self._decision_level() == 0:
+                    self.ok = False
+                    self.core = []
+                    return UNSAT
+                learnt, bt_level = self._analyze(conflict)
+                self._cancel_until(bt_level)
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], None)
+                else:
+                    clause = _Clause(learnt, learnt=True)
+                    self.learnts.append(clause)
+                    self._watch(clause)
+                    self._bump_clause(clause)
+                    self._enqueue(learnt[0], clause)
+                self._decay_activities()
+                if deadline is not None and (self.conflicts & 255) == 0 \
+                        and deadline.expired():
+                    return UNKNOWN
+                if conflict_budget is not None and \
+                        self.conflicts - start_conflicts >= conflict_budget:
+                    return UNKNOWN
+                if conflicts_here >= restart_budget:
+                    self._cancel_until(0)
+                    return None  # restart
+                continue
+
+            if len(self.learnts) > max_learnts + len(self.trail):
+                self._reduce_db()
+
+            # Replay assumptions as the first decisions.
+            next_lit = None
+            while self._decision_level() < len(assumptions):
+                p = assumptions[self._decision_level()]
+                value = self._value(p)
+                if value is True:
+                    self._new_decision_level()  # dummy level
+                elif value is False:
+                    self.core = self._analyze_final(p)
+                    return UNSAT
+                else:
+                    next_lit = p
+                    break
+            if next_lit is None:
+                v = self._pick_branch_var()
+                if v is None:
+                    self.model = {i: bool(self.assigns[i])
+                                  for i in range(1, self.num_vars + 1)}
+                    return SAT
+                next_lit = v if self._pick_polarity(v) else -v
+            self.decisions += 1
+            self._new_decision_level()
+            self._enqueue(next_lit, None)
+
+
+def solve_cnf(cnf, assumptions=(), rng=None, conflict_budget=None,
+              deadline=None):
+    """One-shot convenience: solve ``cnf`` and return ``(status, payload)``.
+
+    ``payload`` is the model dict on :data:`SAT`, the assumption core on
+    :data:`UNSAT`, and ``None`` on :data:`UNKNOWN`.
+    """
+    solver = Solver(cnf, rng=rng)
+    status = solver.solve(assumptions=assumptions,
+                          conflict_budget=conflict_budget, deadline=deadline)
+    if status == SAT:
+        return status, solver.model
+    if status == UNSAT:
+        return status, solver.core
+    return status, None

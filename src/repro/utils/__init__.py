@@ -1,0 +1,20 @@
+"""Shared utilities: deterministic RNG plumbing, timers, errors, enums."""
+
+from repro.utils.errors import (
+    ReproError,
+    ParseError,
+    ResourceBudgetExceeded,
+    SolverError,
+)
+from repro.utils.rng import make_rng
+from repro.utils.timer import Stopwatch, Deadline
+
+__all__ = [
+    "ReproError",
+    "ParseError",
+    "ResourceBudgetExceeded",
+    "SolverError",
+    "make_rng",
+    "Stopwatch",
+    "Deadline",
+]

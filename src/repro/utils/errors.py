@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the library throws with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ParseError(ReproError):
+    """Malformed DIMACS/QDIMACS/DQDIMACS input."""
+
+    def __init__(self, message, line_number=None):
+        if line_number is not None:
+            message = "line %d: %s" % (line_number, message)
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class SolverError(ReproError):
+    """Internal solver invariant violation (a bug, not a user error)."""
+
+
+class ResourceBudgetExceeded(ReproError):
+    """A configured conflict/time/size budget was exhausted.
+
+    Engines catch this to report ``TIMEOUT`` instead of crashing.
+    """
+
+    def __init__(self, message="resource budget exceeded", budget=None):
+        super().__init__(message)
+        self.budget = budget

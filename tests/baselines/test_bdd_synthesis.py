@@ -1,0 +1,116 @@
+"""Tests for the BDD-based synthesis engine."""
+
+import random
+
+from repro.baselines import BDDSynthesizer, SkolemCompositionSynthesizer
+from repro.core.result import Status
+from repro.dqbf import check_henkin_vector, skolem_instance
+from repro.dqbf.instance import DQBFInstance
+from repro.formula.cnf import CNF
+
+from tests.conftest import brute_force_dqbf_true
+
+
+def make_skolem(universals, existentials, clauses):
+    return skolem_instance(universals, existentials, CNF(clauses))
+
+
+class TestCorrectness:
+    def test_and_function(self):
+        inst = make_skolem([1, 2], [3],
+                           [[-3, 1], [-3, 2], [3, -1, -2]])
+        result = BDDSynthesizer().run(inst, timeout=30)
+        assert result.status == Status.SYNTHESIZED
+        assert check_henkin_vector(inst, result.functions).valid
+
+    def test_xor_function(self):
+        inst = make_skolem([1, 2], [3],
+                           [[-3, 1, 2], [-3, -1, -2],
+                            [3, -1, 2], [3, 1, -2]])
+        result = BDDSynthesizer().run(inst, timeout=30)
+        assert result.status == Status.SYNTHESIZED
+        assert check_henkin_vector(inst, result.functions).valid
+
+    def test_false_instance(self):
+        inst = make_skolem([1], [2], [[1]])
+        assert BDDSynthesizer().run(inst, timeout=30).status == \
+            Status.FALSE
+
+    def test_chain_dependencies(self):
+        cnf = CNF([[-3, 1], [3, -1], [-4, 3], [4, -3]])
+        inst = DQBFInstance([1, 2], {3: [1], 4: [1, 2]}, cnf)
+        result = BDDSynthesizer().run(inst, timeout=30)
+        if result.status == Status.SYNTHESIZED:
+            assert check_henkin_vector(inst, result.functions).valid
+        else:
+            assert result.status == Status.UNKNOWN
+
+    def test_non_chain_rejected(self):
+        cnf = CNF([[3, 4]])
+        inst = DQBFInstance([1, 2], {3: [1], 4: [2]}, cnf)
+        result = BDDSynthesizer().run(inst, timeout=30)
+        assert result.status == Status.UNKNOWN
+        assert "chain" in result.reason
+
+    def test_agreement_with_brute_force(self):
+        rng = random.Random(41)
+        engine = BDDSynthesizer()
+        for trial in range(20):
+            nx = rng.randint(1, 3)
+            ny = rng.randint(1, 2)
+            xs = list(range(1, nx + 1))
+            ys = list(range(nx + 1, nx + ny + 1))
+            cnf = CNF(num_vars=nx + ny)
+            for _ in range(rng.randint(1, 6)):
+                cnf.add_clause([rng.choice([1, -1]) * rng.choice(xs + ys)
+                                for _ in range(rng.randint(1, 3))])
+            inst = skolem_instance(xs, ys, cnf)
+            truth = brute_force_dqbf_true(inst)
+            result = engine.run(inst, timeout=20)
+            assert (result.status == Status.SYNTHESIZED) == truth, trial
+            if result.synthesized:
+                assert check_henkin_vector(inst, result.functions).valid
+
+    def test_agrees_with_composition_engine(self):
+        rng = random.Random(17)
+        bdd = BDDSynthesizer()
+        comp = SkolemCompositionSynthesizer()
+        for trial in range(10):
+            xs = [1, 2, 3]
+            ys = [4, 5]
+            cnf = CNF(num_vars=5)
+            for _ in range(rng.randint(2, 7)):
+                cnf.add_clause([rng.choice([1, -1]) * rng.choice(xs + ys)
+                                for _ in range(rng.randint(1, 3))])
+            inst = skolem_instance(xs, ys, cnf)
+            r1 = bdd.run(inst, timeout=20)
+            r2 = comp.run(inst, timeout=20)
+            assert (r1.status == Status.SYNTHESIZED) == \
+                (r2.status == Status.SYNTHESIZED), trial
+
+
+class TestScalability:
+    def test_handles_wider_instances_than_composition(self):
+        """A parity constraint over many variables: the expression-based
+        composition blows up, the BDD stays linear."""
+        from repro.sampling.xor import add_parity_constraint
+
+        n = 12
+        cnf = CNF(num_vars=n + 1)
+        add_parity_constraint(cnf, list(range(1, n + 2)), False)
+        # y (var n+1) must equal parity of x1..xn
+        inst = skolem_instance(list(range(1, n + 1)),
+                               [n + 1] + list(range(n + 2,
+                                                    cnf.num_vars + 1)),
+                               cnf)
+        result = BDDSynthesizer().run(inst, timeout=60)
+        assert result.status == Status.SYNTHESIZED
+        assert check_henkin_vector(inst, result.functions).valid
+
+    def test_node_guard(self):
+        inst = make_skolem([1, 2], [3],
+                           [[-3, 1, 2], [-3, -1, -2],
+                            [3, -1, 2], [3, 1, -2]])
+        result = BDDSynthesizer(max_nodes=0).run(inst, timeout=30)
+        assert result.status in (Status.UNKNOWN, Status.SYNTHESIZED,
+                                 Status.FALSE)

@@ -1,0 +1,96 @@
+"""Tests for the universal-expansion baseline."""
+
+import random
+
+from repro.baselines import ExpansionSynthesizer
+from repro.core.result import Status
+from repro.dqbf import check_henkin_vector
+from repro.dqbf.instance import DQBFInstance
+from repro.formula.cnf import CNF
+
+from tests.conftest import brute_force_dqbf_true, random_small_dqbf
+
+
+def make(universals, deps, clauses):
+    return DQBFInstance(universals, deps, CNF(clauses))
+
+
+class TestCorrectness:
+    def test_simple_true_instance(self):
+        inst = make([1], {2: [1]}, [[-2, 1], [2, -1]])
+        result = ExpansionSynthesizer().run(inst, timeout=30)
+        assert result.status == Status.SYNTHESIZED
+        assert check_henkin_vector(inst, result.functions).valid
+
+    def test_false_instance(self, false_instance):
+        result = ExpansionSynthesizer().run(false_instance, timeout=30)
+        assert result.status == Status.FALSE
+
+    def test_pure_universal_clause_false(self):
+        inst = make([1, 2], {3: [1]}, [[1, 2], [3]])
+        result = ExpansionSynthesizer().run(inst, timeout=30)
+        assert result.status == Status.FALSE
+
+    def test_limitation_example_solved(self, limitation_example_instance):
+        """Expansion is complete: it must solve the §5 instance."""
+        result = ExpansionSynthesizer().run(limitation_example_instance,
+                                            timeout=30)
+        assert result.status == Status.SYNTHESIZED
+        assert check_henkin_vector(limitation_example_instance,
+                                   result.functions).valid
+
+    def test_exhaustive_agreement_with_brute_force(self):
+        rng = random.Random(55)
+        engine = ExpansionSynthesizer()
+        for trial in range(30):
+            inst = random_small_dqbf(rng)
+            truth = brute_force_dqbf_true(inst)
+            result = engine.run(inst, timeout=20)
+            assert result.status in (Status.SYNTHESIZED, Status.FALSE), \
+                (trial, result.reason)
+            assert (result.status == Status.SYNTHESIZED) == truth, trial
+            if result.synthesized:
+                assert check_henkin_vector(inst, result.functions).valid
+
+    def test_unconstrained_output_gets_dont_care_function(self):
+        inst = make([1], {2: [1], 3: [1]}, [[-2, 1], [2, -1]])
+        result = ExpansionSynthesizer().run(inst, timeout=30)
+        assert result.status == Status.SYNTHESIZED
+        assert 3 in result.functions
+
+
+class TestGuards:
+    def test_wide_clause_guard(self):
+        xs = list(range(1, 25))
+        inst = make(xs, {25: xs}, [[25] + xs])
+        result = ExpansionSynthesizer(max_clause_bits=18).run(inst,
+                                                              timeout=30)
+        assert result.status == Status.UNKNOWN
+        assert "universals" in result.reason
+
+    def test_total_clause_guard(self):
+        from repro.benchgen import generate_planted_instance
+
+        inst = generate_planted_instance(num_universals=20,
+                                         num_existentials=4,
+                                         dep_width=18, seed=1)
+        result = ExpansionSynthesizer(max_total_clauses=100,
+                                      max_enumeration_rows=10**9).run(
+            inst, timeout=30)
+        assert result.status == Status.UNKNOWN
+
+    def test_enumeration_row_guard(self):
+        from repro.benchgen import generate_planted_instance
+
+        inst = generate_planted_instance(num_universals=20,
+                                         num_existentials=4,
+                                         dep_width=18, seed=1)
+        result = ExpansionSynthesizer(max_enumeration_rows=1000).run(
+            inst, timeout=30)
+        assert result.status == Status.UNKNOWN
+
+    def test_stats_reported(self):
+        inst = make([1], {2: [1]}, [[-2, 1], [2, -1]])
+        result = ExpansionSynthesizer().run(inst, timeout=30)
+        assert result.stats["expansion_clauses"] > 0
+        assert result.stats["expansion_vars"] > 0

@@ -1,0 +1,95 @@
+"""Tests for the Pedant-like definition/arbiter baseline."""
+
+import random
+
+from repro.baselines import PedantLikeSynthesizer
+from repro.core.result import Status
+from repro.dqbf import check_henkin_vector
+from repro.dqbf.instance import DQBFInstance
+from repro.formula.cnf import CNF
+
+from tests.conftest import brute_force_dqbf_true, random_small_dqbf
+
+
+def make(universals, deps, clauses):
+    return DQBFInstance(universals, deps, CNF(clauses))
+
+
+class TestCorrectness:
+    def test_defined_output_via_gates(self):
+        inst = make([1, 2], {3: [1, 2]},
+                    [[-3, 1], [-3, 2], [3, -1, -2]])
+        result = PedantLikeSynthesizer().run(inst, timeout=30)
+        assert result.status == Status.SYNTHESIZED
+        assert result.stats["definitions"] == 1
+        assert check_henkin_vector(inst, result.functions).valid
+
+    def test_arbiter_refinement(self):
+        # y must equal x but starts at the default constant: pure CEGIS.
+        inst = make([1], {2: [1]}, [[-2, 1], [2, -1]])
+        engine = PedantLikeSynthesizer()
+        result = engine.run(inst, timeout=30)
+        assert result.status == Status.SYNTHESIZED
+        assert result.stats["arbiter_rounds"] >= 1
+        assert check_henkin_vector(inst, result.functions).valid
+
+    def test_false_instance(self, false_instance):
+        result = PedantLikeSynthesizer().run(false_instance, timeout=30)
+        assert result.status == Status.FALSE
+
+    def test_limitation_example_solved(self, limitation_example_instance):
+        result = PedantLikeSynthesizer().run(limitation_example_instance,
+                                             timeout=30)
+        assert result.status == Status.SYNTHESIZED
+        assert check_henkin_vector(limitation_example_instance,
+                                   result.functions).valid
+
+    def test_agreement_with_brute_force(self):
+        rng = random.Random(77)
+        engine = PedantLikeSynthesizer()
+        for trial in range(25):
+            inst = random_small_dqbf(rng)
+            truth = brute_force_dqbf_true(inst)
+            result = engine.run(inst, timeout=20)
+            assert result.status in (Status.SYNTHESIZED, Status.FALSE), \
+                (trial, result.reason)
+            assert (result.status == Status.SYNTHESIZED) == truth, trial
+            if result.synthesized:
+                assert check_henkin_vector(inst, result.functions).valid
+
+    def test_returned_functions_are_grounded(self):
+        """Definitions referencing other existentials must be composed
+        away before the vector is returned."""
+        from repro.benchgen.pec import generate_defined_pec_instance
+
+        inst = generate_defined_pec_instance(num_inputs=8, num_outputs=2,
+                                             support_width=4, seed=3)
+        result = PedantLikeSynthesizer().run(inst, timeout=60)
+        assert result.status == Status.SYNTHESIZED
+        for y, f in result.functions.items():
+            assert f.support() <= inst.dependencies[y]
+
+
+class TestKnobs:
+    def test_default_value_true(self):
+        inst = make([1], {2: [1]}, [[2, 1]])
+        result = PedantLikeSynthesizer(default_value=True).run(inst,
+                                                               timeout=30)
+        assert result.status == Status.SYNTHESIZED
+
+    def test_iteration_cap(self):
+        from repro.benchgen import generate_planted_instance
+
+        inst = generate_planted_instance(seed=5)
+        result = PedantLikeSynthesizer(max_iterations=3).run(inst,
+                                                             timeout=30)
+        assert result.status in (Status.UNKNOWN, Status.SYNTHESIZED,
+                                 Status.TIMEOUT)
+
+    def test_definition_bit_cap(self):
+        inst = make([1, 2], {3: [1, 2]},
+                    [[-3, 1], [-3, 2], [3, -1, -2]])
+        engine = PedantLikeSynthesizer(max_definition_bits=0)
+        result = engine.run(inst, timeout=30)
+        # gates still fire (syntactic); only Padoa tabulation is capped
+        assert result.status == Status.SYNTHESIZED

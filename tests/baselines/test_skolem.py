@@ -1,0 +1,82 @@
+"""Tests for the Skolem composition synthesizer."""
+
+import random
+
+from repro.baselines import SkolemCompositionSynthesizer
+from repro.core.result import Status
+from repro.dqbf import check_henkin_vector, skolem_instance
+from repro.dqbf.instance import DQBFInstance
+from repro.formula.cnf import CNF
+
+from tests.conftest import brute_force_dqbf_true
+
+
+def make_skolem(universals, existentials, clauses):
+    return skolem_instance(universals, existentials, CNF(clauses))
+
+
+class TestCorrectness:
+    def test_and_function(self):
+        inst = make_skolem([1, 2], [3],
+                           [[-3, 1], [-3, 2], [3, -1, -2]])
+        result = SkolemCompositionSynthesizer().run(inst, timeout=30)
+        assert result.status == Status.SYNTHESIZED
+        assert check_henkin_vector(inst, result.functions).valid
+
+    def test_multiple_outputs(self):
+        inst = make_skolem([1, 2], [3, 4],
+                           [[-3, 1], [3, -1], [4, 3, 2], [4, -2]])
+        result = SkolemCompositionSynthesizer().run(inst, timeout=30)
+        assert result.status == Status.SYNTHESIZED
+        assert check_henkin_vector(inst, result.functions).valid
+
+    def test_false_instance(self):
+        # ∀x ∃y . x  (clause over X only, falsifiable)
+        inst = make_skolem([1], [2], [[1]])
+        result = SkolemCompositionSynthesizer().run(inst, timeout=30)
+        assert result.status == Status.FALSE
+
+    def test_chain_dependencies_accepted(self):
+        cnf = CNF([[-3, 1], [3, -1], [-4, 3], [4, -3]])
+        inst = DQBFInstance([1, 2], {3: [1], 4: [1, 2]}, cnf)
+        result = SkolemCompositionSynthesizer().run(inst, timeout=30)
+        if result.status == Status.SYNTHESIZED:
+            assert check_henkin_vector(inst, result.functions).valid
+        else:
+            assert result.status == Status.UNKNOWN
+
+    def test_non_chain_rejected(self):
+        cnf = CNF([[3, 4]])
+        inst = DQBFInstance([1, 2], {3: [1], 4: [2]}, cnf)
+        result = SkolemCompositionSynthesizer().run(inst, timeout=30)
+        assert result.status == Status.UNKNOWN
+        assert "chain" in result.reason
+
+    def test_agreement_with_brute_force_on_skolem(self):
+        rng = random.Random(31)
+        engine = SkolemCompositionSynthesizer()
+        for trial in range(20):
+            nx = rng.randint(1, 3)
+            ny = rng.randint(1, 2)
+            xs = list(range(1, nx + 1))
+            ys = list(range(nx + 1, nx + ny + 1))
+            cnf = CNF(num_vars=nx + ny)
+            for _ in range(rng.randint(1, 6)):
+                clause = [rng.choice([1, -1]) * rng.choice(xs + ys)
+                          for _ in range(rng.randint(1, 3))]
+                cnf.add_clause(clause)
+            inst = skolem_instance(xs, ys, cnf)
+            truth = brute_force_dqbf_true(inst)
+            result = engine.run(inst, timeout=20)
+            assert (result.status == Status.SYNTHESIZED) == truth, trial
+            if result.synthesized:
+                assert check_henkin_vector(inst, result.functions).valid
+
+    def test_blowup_guard(self):
+        # y ↔ x1 ⊕ x2 does not simplify to a single node.
+        inst = make_skolem([1, 2], [3],
+                           [[-3, 1, 2], [-3, -1, -2],
+                            [3, -1, 2], [3, 1, -2]])
+        result = SkolemCompositionSynthesizer(max_dag_size=1).run(
+            inst, timeout=30)
+        assert result.status == Status.UNKNOWN

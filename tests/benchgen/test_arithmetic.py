@@ -1,0 +1,93 @@
+"""Tests for the arithmetic-circuit families."""
+
+import itertools
+
+from repro.baselines import ExpansionSynthesizer, PedantLikeSynthesizer
+from repro.benchgen.arithmetic import (
+    generate_adder_pec_instance,
+    generate_comparator_instance,
+    less_than,
+    ripple_carry_adder,
+)
+from repro.core.result import Status
+from repro.dqbf import check_henkin_vector
+
+
+class TestAdderCircuit:
+    def test_ripple_carry_semantics(self):
+        bits = 3
+        a_vars = [1, 2, 3]
+        b_vars = [4, 5, 6]
+        sums, carry = ripple_carry_adder(a_vars, b_vars)
+        for a in range(8):
+            for b in range(8):
+                env = {}
+                for i in range(bits):
+                    env[a_vars[i]] = bool((a >> i) & 1)
+                    env[b_vars[i]] = bool((b >> i) & 1)
+                got = sum(sums[i].evaluate(env) << i
+                          for i in range(bits))
+                got += carry.evaluate(env) << bits
+                assert got == a + b, (a, b)
+
+    def test_less_than_semantics(self):
+        a_vars = [1, 2, 3]
+        b_vars = [4, 5, 6]
+        lt = less_than(a_vars, b_vars)
+        for a in range(8):
+            for b in range(8):
+                env = {}
+                for i in range(3):
+                    env[a_vars[i]] = bool((a >> i) & 1)
+                    env[b_vars[i]] = bool((b >> i) & 1)
+                assert lt.evaluate(env) == (a < b), (a, b)
+
+
+class TestAdderPec:
+    def test_realizable_is_true_and_boxes_recoverable(self):
+        inst = generate_adder_pec_instance(bits=3, boxed_stage=1,
+                                           realizable=True, seed=1)
+        result = ExpansionSynthesizer().run(inst, timeout=60)
+        assert result.status == Status.SYNTHESIZED
+        assert check_henkin_vector(inst, result.functions).valid
+
+    def test_blinded_stage_is_false(self):
+        # hiding the carry-in cone of stage ≥ 1 breaks realizability
+        inst = generate_adder_pec_instance(bits=3, boxed_stage=2,
+                                           realizable=False, seed=1)
+        result = ExpansionSynthesizer().run(inst, timeout=60)
+        assert result.status == Status.FALSE
+
+    def test_stage_zero_needs_no_carry(self):
+        inst = generate_adder_pec_instance(bits=2, boxed_stage=0,
+                                           realizable=True, seed=0)
+        result = ExpansionSynthesizer().run(inst, timeout=60)
+        assert result.status == Status.SYNTHESIZED
+
+    def test_box_dependencies_are_the_cone(self):
+        inst = generate_adder_pec_instance(bits=4, boxed_stage=2,
+                                           realizable=True, seed=2)
+        narrow = [y for y in inst.existentials
+                  if len(inst.dependencies[y]) < 8]
+        assert len(narrow) == 2
+        for y in narrow:
+            assert inst.dependencies[y] == frozenset({1, 2, 3, 5, 6, 7})
+
+
+class TestComparator:
+    def test_definition_engine_solves_it(self):
+        inst = generate_comparator_instance(bits=3, seed=1)
+        result = PedantLikeSynthesizer().run(inst, timeout=60)
+        assert result.status == Status.SYNTHESIZED
+        cert = check_henkin_vector(inst, result.functions)
+        assert cert.valid
+        # the recovered box must be exactly A < B
+        box = [y for y in inst.existentials
+               if y == min(inst.existentials)][0]
+        f = result.functions[box]
+        for a, b in itertools.product(range(8), repeat=2):
+            env = {}
+            for i in range(3):
+                env[1 + i] = bool((a >> i) & 1)
+                env[4 + i] = bool((b >> i) & 1)
+            assert f.evaluate(env) == (a < b)

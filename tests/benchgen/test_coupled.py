@@ -1,0 +1,51 @@
+"""Tests for the coupled-XOR (repair-critical) family."""
+
+from repro.baselines import ExpansionSynthesizer
+from repro.benchgen import generate_coupled_xor_instance
+from repro.core import Manthan3, Manthan3Config, Status
+from repro.core.result import Status as S
+
+
+class TestCoupledXor:
+    def test_always_true(self):
+        for seed in range(4):
+            inst = generate_coupled_xor_instance(num_universals=6,
+                                                 window=4, pairs=2,
+                                                 seed=seed)
+            result = ExpansionSynthesizer().run(inst, timeout=30)
+            assert result.status == Status.SYNTHESIZED, seed
+
+    def test_equal_window_pairs(self):
+        inst = generate_coupled_xor_instance(num_universals=8, window=5,
+                                             pairs=3, seed=1)
+        ys = inst.existentials
+        assert len(ys) == 6
+        for a, b in zip(ys[0::2], ys[1::2]):
+            assert inst.dependencies[a] == inst.dependencies[b]
+
+    def test_no_subset_structure(self):
+        inst = generate_coupled_xor_instance(seed=2)
+        # equal sets are allowed, strict subsets should not occur
+        assert list(inst.dependency_subset_pairs()) == []
+
+    def test_yhat_ablation_signal(self):
+        """The family's purpose: with the Ŷ conjunct repair converges,
+        without it the engine usually stalls (§5's motivation)."""
+        solved_with = 0
+        solved_without = 0
+        for seed in range(4):
+            inst = generate_coupled_xor_instance(num_universals=10,
+                                                 window=8, pairs=2,
+                                                 seed=seed)
+            with_y = Manthan3(Manthan3Config(seed=1)).run(inst,
+                                                          timeout=10)
+            without_y = Manthan3(Manthan3Config(
+                seed=1, use_yhat_constraint=False)).run(inst, timeout=10)
+            solved_with += with_y.status == S.SYNTHESIZED
+            solved_without += without_y.status == S.SYNTHESIZED
+        assert solved_with > solved_without
+
+    def test_deterministic(self):
+        a = generate_coupled_xor_instance(seed=5)
+        b = generate_coupled_xor_instance(seed=5)
+        assert list(a.matrix) == list(b.matrix)

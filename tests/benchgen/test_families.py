@@ -1,0 +1,162 @@
+"""Tests for the benchmark instance generators.
+
+Each family must produce structurally valid instances with the claimed
+quantifier shape, be deterministic under seeds, and — where the family
+plants a solution — actually be a True DQBF (checked with the complete
+expansion engine on small sizes).
+"""
+
+import pytest
+
+from repro.baselines import ExpansionSynthesizer
+from repro.benchgen import (
+    generate_controller_instance,
+    generate_pec_instance,
+    generate_planted_instance,
+    generate_succinct_sat_instance,
+    generate_xor_chain_instance,
+)
+from repro.benchgen.pec import generate_defined_pec_instance
+from repro.benchgen.succinct_sat import generate_random_succinct_sat
+from repro.core.result import Status
+from repro.dqbf import check_henkin_vector
+
+
+def _solve_complete(inst):
+    return ExpansionSynthesizer().run(inst, timeout=60)
+
+
+class TestPec:
+    def test_structure(self):
+        inst = generate_pec_instance(num_inputs=5, num_outputs=2,
+                                     num_boxes=2, seed=1)
+        assert inst.num_universals == 5
+        boxes = [y for y in inst.existentials
+                 if len(inst.dependencies[y]) < 5]
+        assert len(inst.existentials) > 2  # boxes + Tseitin aux
+
+    def test_deterministic(self):
+        a = generate_pec_instance(seed=9)
+        b = generate_pec_instance(seed=9)
+        assert list(a.matrix) == list(b.matrix)
+        assert a.dependencies == b.dependencies
+
+    def test_realizable_instances_are_true(self):
+        for seed in range(3):
+            inst = generate_pec_instance(num_inputs=5, num_outputs=2,
+                                         num_boxes=1, depth=2, seed=seed)
+            result = _solve_complete(inst)
+            assert result.status == Status.SYNTHESIZED, \
+                (seed, result.reason)
+            assert check_henkin_vector(inst, result.functions).valid
+
+    def test_unrealizable_flag_changes_instance(self):
+        sat = generate_pec_instance(realizable=True, seed=4)
+        unsat = generate_pec_instance(realizable=False, seed=4)
+        assert sat.dependencies != unsat.dependencies
+
+
+class TestDefinedPec:
+    def test_boxes_match_output_supports(self):
+        inst = generate_defined_pec_instance(num_inputs=10,
+                                             num_outputs=2,
+                                             support_width=5, seed=2)
+        narrow = [y for y in inst.existentials
+                  if len(inst.dependencies[y]) < 10]
+        assert len(narrow) == 2
+
+    def test_true_on_small_sizes(self):
+        inst = generate_defined_pec_instance(num_inputs=7, num_outputs=2,
+                                             support_width=4, seed=5)
+        result = _solve_complete(inst)
+        assert result.status == Status.SYNTHESIZED
+
+
+class TestController:
+    def test_structure(self):
+        inst = generate_controller_instance(num_state=4,
+                                            num_disturbance=2,
+                                            num_controls=2, seed=3)
+        assert inst.num_universals == 6
+        controls = [y for y in inst.existentials
+                    if len(inst.dependencies[y]) < 6]
+        assert len(controls) >= 1
+
+    def test_observable_instances_are_true(self):
+        for seed in range(3):
+            inst = generate_controller_instance(num_state=3,
+                                                num_disturbance=1,
+                                                num_controls=2,
+                                                observable=True,
+                                                seed=seed)
+            result = _solve_complete(inst)
+            assert result.status == Status.SYNTHESIZED, (seed,
+                                                         result.reason)
+
+
+class TestSuccinctSat:
+    def test_sat_psi_gives_true_dqbf(self):
+        # ψ = (z1 ∨ z2) ∧ (¬z1 ∨ z2): satisfiable with z2=1.
+        inst = generate_succinct_sat_instance([(1, 2), (-1, 2)], 2)
+        result = _solve_complete(inst)
+        assert result.status == Status.SYNTHESIZED
+        # functions must be constants (single-var dependency twins)
+        for y, f in result.functions.items():
+            assert f.is_const() or len(f.support()) <= 1
+
+    def test_unsat_psi_gives_false_dqbf(self):
+        inst = generate_succinct_sat_instance(
+            [(1,), (-1,)], 1)
+        result = _solve_complete(inst)
+        assert result.status == Status.FALSE
+
+    def test_single_var_dependencies(self):
+        inst = generate_random_succinct_sat(num_z=4, seed=8)
+        assert all(len(d) == 1 for d in inst.dependencies.values())
+        assert inst.num_universals == 8
+
+    def test_rejects_out_of_range_literals(self):
+        with pytest.raises(ValueError):
+            generate_succinct_sat_instance([(5,)], 2)
+
+
+class TestPlanted:
+    def test_true_by_construction_small(self):
+        inst = generate_planted_instance(num_universals=8,
+                                         num_existentials=2, dep_width=5,
+                                         region_width=2, rules_per_y=3,
+                                         seed=11)
+        result = _solve_complete(inst)
+        assert result.status == Status.SYNTHESIZED
+
+    def test_wide_instances_have_wide_deps(self):
+        inst = generate_planted_instance(seed=2)
+        widths = {len(d) for d in inst.dependencies.values()}
+        assert widths == {18}
+
+    def test_rules_are_implications(self):
+        inst = generate_planted_instance(seed=2)
+        y_set = set(inst.existentials)
+        for clause in inst.matrix:
+            y_lits = [l for l in clause if abs(l) in y_set]
+            assert len(y_lits) == 1
+
+
+class TestXorChain:
+    def test_always_true(self):
+        for kwargs in ({}, {"force_value": True},
+                       {"force_value": False}, {"window": 3}):
+            inst = generate_xor_chain_instance(chain_length=3, seed=6,
+                                               **kwargs)
+            result = _solve_complete(inst)
+            assert result.status == Status.SYNTHESIZED, kwargs
+
+    def test_no_subset_pairs(self):
+        inst = generate_xor_chain_instance(chain_length=5, window=2)
+        assert list(inst.dependency_subset_pairs()) == []
+
+    def test_window_geometry(self):
+        inst = generate_xor_chain_instance(chain_length=4, window=3)
+        sizes = [len(inst.dependencies[y]) for y in inst.existentials]
+        assert sizes == [3, 3, 3, 3]
+        assert inst.num_universals == 6

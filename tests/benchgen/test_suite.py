@@ -1,0 +1,43 @@
+"""Tests for the suite builder."""
+
+import pytest
+
+from repro.benchgen import SUITE_SIZES, build_suite
+
+
+class TestBuildSuite:
+    def test_sizes_ordered(self):
+        smoke = build_suite("smoke")
+        small = build_suite("small")
+        medium = build_suite("medium")
+        assert len(smoke) < len(small) < len(medium)
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError):
+            build_suite("huge")
+
+    def test_deterministic(self):
+        a = build_suite("smoke", seed=3)
+        b = build_suite("smoke", seed=3)
+        assert [i.name for i in a] == [i.name for i in b]
+        assert [list(i.matrix) for i in a] == [list(i.matrix) for i in b]
+
+    def test_seed_changes_instances(self):
+        a = build_suite("smoke", seed=1)
+        b = build_suite("smoke", seed=2)
+        assert [list(i.matrix) for i in a] != [list(i.matrix) for i in b]
+
+    def test_names_unique(self):
+        names = [i.name for i in build_suite("small")]
+        assert len(names) == len(set(names))
+
+    def test_family_mix_present(self):
+        names = " ".join(i.name for i in build_suite("small"))
+        for family in ("pec", "ctrl", "succinct", "planted", "xorchain",
+                       "dpec"):
+            assert family in names
+
+    def test_all_instances_validate(self):
+        for inst in build_suite("small"):
+            assert inst.matrix.variables() <= (
+                set(inst.universals) | set(inst.existentials))

@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli.main import main
+from repro.parsing import write_dqdimacs
+
+EXAMPLE = """p cnf 3 2
+a 1 0
+d 2 1 0
+d 3 1 0
+1 2 0
+-2 3 0
+"""
+
+FALSE_EXAMPLE = """p cnf 2 2
+a 1 0
+d 2 0
+2 -1 0
+-2 1 0
+"""
+
+
+@pytest.fixture
+def instance_file(tmp_path):
+    path = tmp_path / "inst.dqdimacs"
+    path.write_text(EXAMPLE)
+    return str(path)
+
+
+class TestSynth:
+    @pytest.mark.parametrize("engine", ["manthan3", "expansion",
+                                        "pedant"])
+    def test_engines_synthesize(self, instance_file, engine, capsys):
+        code = main(["synth", instance_file, "--engine", engine,
+                     "--timeout", "30"])
+        assert code == 10
+        out = capsys.readouterr()
+        assert "y2 =" in out.out
+        assert "VALID" in out.err
+
+    def test_false_instance_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "false.dqdimacs"
+        path.write_text(FALSE_EXAMPLE)
+        code = main(["synth", str(path), "--engine", "expansion"])
+        assert code == 20
+
+    def test_unknown_exit_code(self, tmp_path):
+        from repro.benchgen import generate_planted_instance
+
+        inst = generate_planted_instance(seed=1)
+        path = tmp_path / "wide.dqdimacs"
+        path.write_text(write_dqdimacs(inst))
+        code = main(["synth", str(path), "--engine", "expansion"])
+        assert code == 30
+
+    def test_aiger_output(self, instance_file, capsys):
+        code = main(["synth", instance_file, "--engine", "expansion",
+                     "--output-format", "aiger"])
+        assert code == 10
+        out = capsys.readouterr().out
+        assert out.startswith("aag ")
+
+    def test_verilog_to_file(self, instance_file, tmp_path):
+        target = str(tmp_path / "patch.v")
+        code = main(["synth", instance_file, "--engine", "expansion",
+                     "--output-format", "verilog", "-o", target])
+        assert code == 10
+        with open(target) as handle:
+            assert "module henkin_patch" in handle.read()
+
+    def test_unknown_engine_rejected(self, instance_file):
+        with pytest.raises(SystemExit):
+            main(["synth", instance_file, "--engine", "magic"])
+
+
+class TestInfo:
+    def test_info_output(self, instance_file, capsys):
+        assert main(["info", instance_file]) == 0
+        out = capsys.readouterr().out
+        assert "universals     1" in out
+        assert "existentials   2" in out
+
+
+class TestGen:
+    @pytest.mark.parametrize("family", ["pec", "controller",
+                                        "succinct-sat", "planted",
+                                        "xor-chain", "defined-pec"])
+    def test_families_generate_parseable_files(self, family, tmp_path,
+                                               capsys):
+        target = str(tmp_path / "gen.dqdimacs")
+        assert main(["gen", family, "--seed", "2", "-o", target]) == 0
+        code = main(["info", target])
+        assert code == 0
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            main(["gen", "nonsense"])
+
+
+class TestBench:
+    def test_smoke_campaign_report(self, tmp_path):
+        target = str(tmp_path / "report.txt")
+        code = main(["bench", "--suite", "smoke", "--timeout", "3",
+                     "--seed", "1", "-o", target])
+        assert code == 0
+        with open(target) as handle:
+            text = handle.read()
+        assert "solved counts" in text
+        assert "virtual best synthesizer" in text

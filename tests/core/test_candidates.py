@@ -1,0 +1,123 @@
+"""Tests for candidate learning and dependency tracking (Algorithm 2)."""
+
+from repro.core.candidates import (
+    DependencyTracker,
+    feature_set_for,
+    learn_all_candidates,
+    learn_candidate,
+)
+from repro.core.config import Manthan3Config
+from repro.dqbf.instance import DQBFInstance
+from repro.formula.cnf import CNF
+
+
+def make(universals, deps, clauses):
+    return DQBFInstance(universals, deps, CNF(clauses))
+
+
+class TestDependencyTracker:
+    def test_seed_subset_pairs(self):
+        inst = make([1, 2], {3: [1], 4: [1, 2]}, [[3, 4]])
+        tracker = DependencyTracker(inst.existentials)
+        tracker.seed_subset_pairs(inst)
+        # H3 ⊂ H4: y4 may use y3, y3 must not use y4.
+        assert tracker.may_use(4, 3)
+        assert not tracker.may_use(3, 4)
+
+    def test_no_self_use(self):
+        tracker = DependencyTracker([3])
+        assert not tracker.may_use(3, 3)
+
+    def test_transitive_cycle_prevention(self):
+        tracker = DependencyTracker([3, 4, 5])
+        tracker.record_use(3, {4})
+        tracker.record_use(4, {5})
+        # 5 using 3 would close the cycle 3→4→5→3.
+        assert not tracker.may_use(5, 3)
+        assert tracker.may_use(3, 5)
+
+    def test_edges_enumeration(self):
+        tracker = DependencyTracker([3, 4])
+        tracker.record_use(3, {4})
+        assert list(tracker.edges()) == [(3, 4)]
+
+
+class TestFeatureSets:
+    def test_dependencies_always_included(self):
+        inst = make([1, 2], {3: [1, 2]}, [[3]])
+        tracker = DependencyTracker(inst.existentials)
+        assert feature_set_for(inst, 3, tracker) == [1, 2]
+
+    def test_subset_y_included(self):
+        inst = make([1, 2], {3: [1], 4: [1, 2]}, [[3, 4]])
+        tracker = DependencyTracker(inst.existentials)
+        tracker.seed_subset_pairs(inst)
+        assert 3 in feature_set_for(inst, 4, tracker)
+        assert 4 not in feature_set_for(inst, 3, tracker)
+
+    def test_equal_sets_one_direction_allowed(self):
+        inst = make([1], {3: [1], 4: [1]}, [[3, 4]])
+        tracker = DependencyTracker(inst.existentials)
+        tracker.seed_subset_pairs(inst)
+        assert 4 in feature_set_for(inst, 3, tracker)
+        tracker.record_use(3, {4})
+        assert 3 not in feature_set_for(inst, 4, tracker)
+
+    def test_use_y_features_flag(self):
+        inst = make([1], {3: [1], 4: [1]}, [[3, 4]])
+        tracker = DependencyTracker(inst.existentials)
+        assert feature_set_for(inst, 4, tracker,
+                               use_y_features=False) == [1]
+
+    def test_fixed_candidates_excluded(self):
+        inst = make([1], {3: [1], 4: [1]}, [[3, 4]])
+        tracker = DependencyTracker(inst.existentials)
+        feats = feature_set_for(inst, 4, tracker, fixed={3})
+        assert 3 not in feats
+
+
+class TestLearning:
+    def test_learns_from_deterministic_samples(self):
+        inst = make([1], {2: [1]}, [[-2, 1], [2, -1]])
+        samples = [{1: False, 2: False}, {1: True, 2: True}]
+        tracker = DependencyTracker(inst.existentials)
+        expr, used = learn_candidate(inst, 2, samples, tracker,
+                                     Manthan3Config())
+        assert expr.evaluate({1: True})
+        assert not expr.evaluate({1: False})
+        assert used == set()
+
+    def test_y_feature_use_recorded(self):
+        inst = make([1, 2], {3: [1], 4: [1, 2]}, [[3, 4]])
+        samples = [{1: False, 2: False, 3: True, 4: True},
+                   {1: True, 2: False, 3: False, 4: False},
+                   {1: False, 2: True, 3: True, 4: True},
+                   {1: True, 2: True, 3: False, 4: False}]
+        tracker = DependencyTracker(inst.existentials)
+        tracker.seed_subset_pairs(inst)
+        expr, used = learn_candidate(inst, 4, samples, tracker,
+                                     Manthan3Config())
+        # y4 = y3 in the samples; tree may learn via y3 or via x1.
+        if 3 in used:
+            assert not tracker.may_use(3, 4)
+
+    def test_learn_all_includes_fixed(self):
+        from repro.formula import boolfunc as bf
+
+        inst = make([1], {2: [1], 3: [1]}, [[2, 3]])
+        samples = [{1: True, 2: True, 3: True},
+                   {1: False, 2: False, 3: True}]
+        candidates, tracker = learn_all_candidates(
+            inst, samples, Manthan3Config(), fixed={2: bf.TRUE})
+        assert candidates[2] is bf.TRUE
+        assert 3 in candidates
+
+    def test_fixed_reference_edges_recorded(self):
+        from repro.formula import boolfunc as bf
+
+        inst = make([1], {2: [1], 3: [1]}, [[2, 3]])
+        samples = [{1: True, 2: True, 3: True}]
+        fixed = {3: bf.var(2)}  # definition referencing y2
+        _, tracker = learn_all_candidates(inst, samples,
+                                          Manthan3Config(), fixed=fixed)
+        assert (3, 2) in set(tracker.edges())

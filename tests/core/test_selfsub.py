@@ -1,0 +1,93 @@
+"""Tests for the self-substitution fallback."""
+
+import itertools
+
+from repro.core.candidates import DependencyTracker
+from repro.core.selfsub import can_self_substitute, self_substitute
+from repro.core import Manthan3, Manthan3Config, Status
+from repro.dqbf import check_henkin_vector, skolem_instance
+from repro.dqbf.instance import DQBFInstance
+from repro.formula import boolfunc as bf
+from repro.formula.cnf import CNF
+
+
+def make_skolem(universals, existentials, clauses):
+    return skolem_instance(universals, existentials, CNF(clauses))
+
+
+class TestEligibility:
+    def test_full_dependency_required(self):
+        inst = DQBFInstance([1, 2], {3: [1]}, CNF([[3, 1]]))
+        tracker = DependencyTracker(inst.existentials)
+        assert not can_self_substitute(inst, tracker, 3)
+
+    def test_skolem_variable_eligible(self):
+        inst = make_skolem([1, 2], [3], [[3, 1]])
+        tracker = DependencyTracker(inst.existentials)
+        assert can_self_substitute(inst, tracker, 3)
+
+    def test_cycle_through_tracker_blocks(self):
+        inst = make_skolem([1], [2, 3], [[2, 3]])
+        tracker = DependencyTracker(inst.existentials)
+        tracker.record_use(3, {2})  # y3 depends on y2
+        # y2 self-substitution would reference y3 → cycle.
+        assert not can_self_substitute(inst, tracker, 2)
+        assert can_self_substitute(inst, tracker, 3)
+
+
+class TestSubstitution:
+    def test_produces_correct_local_choice(self):
+        # ϕ = (y ↔ (x1 ∧ x2)); self-substituted f = ϕ|_{y=1} = x1∧x2.
+        inst = make_skolem([1, 2], [3],
+                           [[-3, 1], [-3, 2], [3, -1, -2]])
+        tracker = DependencyTracker(inst.existentials)
+        candidates = {3: bf.FALSE}
+        assert self_substitute(inst, candidates, tracker, 3)
+        for b1, b2 in itertools.product([False, True], repeat=2):
+            assert candidates[3].evaluate({1: b1, 2: b2}) == (b1 and b2)
+
+    def test_dag_guard(self):
+        inst = make_skolem([1, 2], [3],
+                           [[-3, 1, 2], [-3, -1, -2],
+                            [3, -1, 2], [3, 1, -2]])
+        tracker = DependencyTracker(inst.existentials)
+        candidates = {3: bf.FALSE}
+        assert not self_substitute(inst, candidates, tracker, 3,
+                                   max_dag_size=1)
+        assert candidates[3] is bf.FALSE  # untouched on failure
+
+
+class TestEngineIntegration:
+    def test_selfsub_configurable(self):
+        inst = make_skolem([1, 2], [3],
+                           [[-3, 1, 2], [-3, -1, -2],
+                            [3, -1, 2], [3, 1, -2]])
+        config = Manthan3Config(seed=2, use_self_substitution=True,
+                                self_substitution_threshold=0,
+                                num_samples=4)
+        result = Manthan3(config).run(inst, timeout=30)
+        assert result.status == Status.SYNTHESIZED
+        assert check_henkin_vector(inst, result.functions).valid
+
+    def test_selfsub_stats_key_present(self):
+        inst = make_skolem([1], [2], [[2, 1]])
+        result = Manthan3(Manthan3Config(seed=1)).run(inst, timeout=30)
+        assert "self_substitutions" in result.stats
+
+
+class TestFalseFastPath:
+    def test_forced_universal_detected(self):
+        # (x1) ∧ (x1 ∨ y): UP forces x1 → False with witness x1=0.
+        inst = DQBFInstance([1], {2: [1]}, CNF([[1], [1, 2]]))
+        result = Manthan3().run(inst, timeout=30)
+        assert result.status == Status.FALSE
+        assert result.witness == {1: False}
+
+    def test_chained_units_detected(self):
+        # (y2) ∧ (¬y2 ∨ x1): UP derives x1 through y2.
+        inst = DQBFInstance([1], {2: [1]}, CNF([[2], [-2, 1]]))
+        result = Manthan3().run(inst, timeout=30)
+        assert result.status == Status.FALSE
+        from repro.dqbf import check_false_witness
+
+        assert check_false_witness(inst, result.witness).valid

@@ -1,0 +1,51 @@
+"""Tests for falsity-witness certification."""
+
+from repro.core import Status, synthesize
+from repro.dqbf import check_false_witness
+from repro.dqbf.instance import DQBFInstance
+from repro.formula.cnf import CNF
+
+
+def make(universals, deps, clauses):
+    return DQBFInstance(universals, deps, CNF(clauses))
+
+
+class TestCheckFalseWitness:
+    def test_valid_witness(self):
+        # clause (x1): X = {x1: False} has no extension.
+        inst = make([1], {2: [1]}, [[1, 2], [1, -2]])
+        cert = check_false_witness(inst, {1: False})
+        assert cert.valid
+
+    def test_invalid_witness(self):
+        inst = make([1], {2: [1]}, [[1, 2]])
+        cert = check_false_witness(inst, {1: True})
+        assert not cert.valid
+        assert "extension" in cert.reason
+
+    def test_incomplete_witness_rejected(self):
+        inst = make([1, 2], {3: [1]}, [[1, 3]])
+        cert = check_false_witness(inst, {1: False})
+        assert not cert.valid
+        assert "misses" in cert.reason
+
+
+class TestEngineWitnesses:
+    def test_manthan3_emits_checkable_witness(self):
+        # ∀x1 x2 ∃y. (x1 ∨ x2 ∨ y) ∧ (x1 ∨ x2 ∨ ¬y): False at x=00.
+        inst = make([1, 2], {3: [1, 2]},
+                    [[1, 2, 3], [1, 2, -3]])
+        result = synthesize(inst, timeout=30)
+        assert result.status == Status.FALSE
+        assert result.witness is not None
+        assert check_false_witness(inst, result.witness).valid
+
+    def test_pedant_emits_checkable_witness(self):
+        from repro.baselines import PedantLikeSynthesizer
+
+        inst = make([1, 2], {3: [1, 2]},
+                    [[1, 2, 3], [1, 2, -3]])
+        result = PedantLikeSynthesizer().run(inst, timeout=30)
+        assert result.status == Status.FALSE
+        if result.witness is not None:
+            assert check_false_witness(inst, result.witness).valid

@@ -1,0 +1,130 @@
+"""Tests for the AIG representation and AIGER export."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dqbf.instance import DQBFInstance
+from repro.formula import boolfunc as bf
+from repro.formula.aig import (
+    AIG,
+    FALSE_LIT,
+    TRUE_LIT,
+    expr_to_aig_literal,
+    functions_to_aig,
+    write_henkin_aiger,
+)
+from repro.formula.cnf import CNF
+
+
+class TestAigPrimitives:
+    def test_constant_simplifications(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        assert aig.and_lit(a, FALSE_LIT) == FALSE_LIT
+        assert aig.and_lit(a, TRUE_LIT) == a
+        assert aig.and_lit(a, a) == a
+        assert aig.and_lit(a, aig.negate(a)) == FALSE_LIT
+        assert aig.num_ands() == 0
+
+    def test_structural_hashing(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        first = aig.and_lit(a, b)
+        second = aig.and_lit(b, a)
+        assert first == second
+        assert aig.num_ands() == 1
+
+    def test_input_reuse(self):
+        aig = AIG()
+        assert aig.add_input("a") == aig.add_input("a")
+        assert len(aig.inputs) == 1
+
+    def test_or_xor_semantics(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        aig.add_output("or", aig.or_lit(a, b))
+        aig.add_output("xor", aig.xor_lit(a, b))
+        for va, vb in itertools.product([False, True], repeat=2):
+            out = aig.evaluate({"a": va, "b": vb})
+            assert out["or"] == (va or vb)
+            assert out["xor"] == (va != vb)
+
+
+class TestExprEncoding:
+    def _check(self, expr, variables):
+        aig = AIG()
+        literal = expr_to_aig_literal(aig, expr)
+        aig.add_output("f", literal)
+        for bits in itertools.product([False, True],
+                                      repeat=len(variables)):
+            env = dict(zip(variables, bits))
+            named = {"x%d" % v: val for v, val in env.items()}
+            # inputs may be absent when expr simplifies; guard:
+            for v in variables:
+                named.setdefault("x%d" % v, False)
+            assert aig.evaluate(named)["f"] == expr.evaluate(env)
+
+    def test_basic_gates(self):
+        x, y, z = bf.var(1), bf.var(2), bf.var(3)
+        self._check(bf.and_(x, y, z), [1, 2, 3])
+        self._check(bf.or_(x, bf.not_(y)), [1, 2])
+        self._check(bf.xor(x, y, z), [1, 2, 3])
+        self._check(bf.TRUE, [1])
+        self._check(bf.FALSE, [1])
+
+    def test_nested_expression(self):
+        expr = bf.or_(bf.and_(bf.var(1), bf.xor(bf.var(2), bf.var(3))),
+                      bf.not_(bf.var(1)))
+        self._check(expr, [1, 2, 3])
+
+
+class TestAigerOutput:
+    def test_header_counts(self):
+        aig = functions_to_aig({4: bf.and_(bf.var(1), bf.var(2))})
+        text = aig.to_aag()
+        header = text.splitlines()[0].split()
+        assert header[0] == "aag"
+        assert int(header[2]) == 2  # inputs
+        assert int(header[4]) == 1  # outputs
+        assert int(header[5]) == aig.num_ands()
+
+    def test_symbol_table(self):
+        aig = functions_to_aig({4: bf.var(1)})
+        text = aig.to_aag()
+        assert "i0 x1" in text
+        assert "o0 y4" in text
+
+    def test_write_henkin_aiger_includes_all_universals(self):
+        cnf = CNF([[3, 1]], num_vars=3)
+        inst = DQBFInstance([1, 2], {3: [1]}, cnf)
+        text = write_henkin_aiger(inst, {3: bf.TRUE})
+        assert "i0 x1" in text and "i1 x2" in text
+        assert "o0 y3" in text
+
+
+@st.composite
+def exprs(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return bf.var(draw(st.integers(min_value=1, max_value=4)))
+    op = draw(st.sampled_from(["and", "or", "xor", "not"]))
+    if op == "not":
+        return bf.not_(draw(exprs(depth=depth - 1)))
+    args = [draw(exprs(depth=depth - 1)) for _ in range(2)]
+    return {"and": bf.and_, "or": bf.or_, "xor": bf.xor}[op](*args)
+
+
+@settings(max_examples=40, deadline=None)
+@given(exprs())
+def test_aig_matches_expr_property(expr):
+    aig = AIG()
+    for v in range(1, 5):
+        aig.add_input("x%d" % v)
+    literal = expr_to_aig_literal(aig, expr)
+    aig.add_output("f", literal)
+    for bits in itertools.product([False, True], repeat=4):
+        env = dict(zip(range(1, 5), bits))
+        named = {"x%d" % v: val for v, val in env.items()}
+        assert aig.evaluate(named)["f"] == expr.evaluate(env)

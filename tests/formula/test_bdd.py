@@ -1,0 +1,168 @@
+"""Tests for the ROBDD package: canonicity, operations, quantification,
+conversions — cross-checked against BoolExpr semantics."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formula import boolfunc as bf
+from repro.formula.bdd import BDDManager, FALSE_NODE, TRUE_NODE
+from repro.formula.cnf import CNF
+from repro.utils.errors import ReproError
+
+
+class TestCanonicity:
+    def test_terminals(self):
+        m = BDDManager()
+        assert m.var(1) != TRUE_NODE
+        assert m.and_(TRUE_NODE, FALSE_NODE) == FALSE_NODE
+
+    def test_equal_functions_share_node(self):
+        m = BDDManager()
+        a = m.or_(m.var(1), m.var(2))
+        b = m.not_(m.and_(m.nvar(1), m.nvar(2)))  # De Morgan
+        assert a == b
+
+    def test_tautology_collapses(self):
+        m = BDDManager()
+        x = m.var(3)
+        assert m.or_(x, m.not_(x)) == TRUE_NODE
+        assert m.and_(x, m.not_(x)) == FALSE_NODE
+
+    def test_xor_identities(self):
+        m = BDDManager()
+        x, y = m.var(1), m.var(2)
+        assert m.xor(x, x) == FALSE_NODE
+        assert m.xor(x, FALSE_NODE) == x
+        assert m.xor(m.xor(x, y), y) == x
+
+
+class TestSemantics:
+    def _check_against_expr(self, expr, variables):
+        m = BDDManager()
+        node = m.from_expr(expr)
+        for bits in itertools.product([False, True],
+                                      repeat=len(variables)):
+            env = dict(zip(variables, bits))
+            assert m.evaluate(node, env) == expr.evaluate(env)
+
+    def test_basic_gates(self):
+        x, y, z = bf.var(1), bf.var(2), bf.var(3)
+        self._check_against_expr(bf.and_(x, y, z), [1, 2, 3])
+        self._check_against_expr(bf.or_(x, bf.not_(y)), [1, 2])
+        self._check_against_expr(bf.xor(x, y, z), [1, 2, 3])
+        self._check_against_expr(bf.ite(x, y, z), [1, 2, 3])
+
+    def test_from_cnf(self):
+        cnf = CNF([[1, 2], [-1, 3], [-2, -3]])
+        m = BDDManager()
+        node = m.from_cnf(cnf)
+        for bits in itertools.product([False, True], repeat=3):
+            env = {1: bits[0], 2: bits[1], 3: bits[2]}
+            assert m.evaluate(node, env) == cnf.evaluate(env)
+
+    def test_to_expr_roundtrip(self):
+        expr = bf.or_(bf.and_(bf.var(1), bf.var(2)),
+                      bf.xor(bf.var(2), bf.var(3)))
+        m = BDDManager()
+        node = m.from_expr(expr)
+        back = m.to_expr(node)
+        for bits in itertools.product([False, True], repeat=3):
+            env = {1: bits[0], 2: bits[1], 3: bits[2]}
+            assert back.evaluate(env) == expr.evaluate(env)
+
+
+class TestRestrictCompose:
+    def test_restrict(self):
+        m = BDDManager()
+        f = m.and_(m.var(1), m.var(2))
+        assert m.restrict(f, 1, True) == m.var(2)
+        assert m.restrict(f, 1, False) == FALSE_NODE
+
+    def test_restrict_missing_variable_is_noop(self):
+        m = BDDManager()
+        f = m.var(1)
+        assert m.restrict(f, 9, True) == f
+
+    def test_compose(self):
+        m = BDDManager()
+        f = m.xor(m.var(1), m.var(2))
+        g = m.and_(m.var(3), m.var(4))
+        composed = m.compose(f, 2, g)
+        for bits in itertools.product([False, True], repeat=3):
+            env = {1: bits[0], 3: bits[1], 4: bits[2]}
+            want = env[1] != (env[3] and env[4])
+            assert m.evaluate(composed, env) == want
+
+
+class TestQuantification:
+    def test_exists(self):
+        m = BDDManager()
+        f = m.and_(m.var(1), m.var(2))
+        assert m.exists(f, [2]) == m.var(1)
+
+    def test_forall(self):
+        m = BDDManager()
+        f = m.or_(m.var(1), m.var(2))
+        assert m.forall(f, [2]) == m.var(1)
+
+    def test_quantify_all_vars(self):
+        m = BDDManager()
+        f = m.xor(m.var(1), m.var(2))
+        assert m.exists(f, [1, 2]) == TRUE_NODE
+        assert m.forall(f, [1, 2]) == FALSE_NODE
+
+    def test_multi_var_exists(self):
+        m = BDDManager()
+        f = m.and_(m.and_(m.var(1), m.var(2)), m.var(3))
+        assert m.exists(f, [2, 3]) == m.var(1)
+
+
+class TestQueries:
+    def test_support(self):
+        m = BDDManager()
+        f = m.and_(m.var(2), m.or_(m.var(5), m.nvar(7)))
+        assert m.support(f) == {2, 5, 7}
+
+    def test_node_count(self):
+        m = BDDManager()
+        assert m.node_count(TRUE_NODE) == 0
+        assert m.node_count(m.var(1)) == 1
+
+    def test_count_models(self):
+        m = BDDManager()
+        f = m.or_(m.var(1), m.var(2))
+        assert m.count_models(f, [1, 2]) == 3
+        assert m.count_models(f, [1, 2, 3]) == 6  # free var doubles
+
+    def test_count_models_requires_support_coverage(self):
+        m = BDDManager()
+        f = m.var(1)
+        with pytest.raises(ReproError):
+            m.count_models(f, [2])
+
+
+@st.composite
+def exprs(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return bf.var(draw(st.integers(min_value=1, max_value=4)))
+    op = draw(st.sampled_from(["and", "or", "xor", "not"]))
+    if op == "not":
+        return bf.not_(draw(exprs(depth=depth - 1)))
+    args = [draw(exprs(depth=depth - 1)) for _ in range(2)]
+    return {"and": bf.and_, "or": bf.or_, "xor": bf.xor}[op](*args)
+
+
+@settings(max_examples=50, deadline=None)
+@given(exprs(), exprs())
+def test_bdd_equality_is_semantic_equivalence(e1, e2):
+    """Property: two expressions get the same BDD node iff they agree on
+    every assignment (canonicity)."""
+    m = BDDManager(var_order=[1, 2, 3, 4])
+    n1, n2 = m.from_expr(e1), m.from_expr(e2)
+    agree = all(
+        e1.evaluate(dict(zip(range(1, 5), bits)))
+        == e2.evaluate(dict(zip(range(1, 5), bits)))
+        for bits in itertools.product([False, True], repeat=4))
+    assert (n1 == n2) == agree

@@ -1,0 +1,92 @@
+"""Tests for Quine–McCluskey minimization."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.formula import boolfunc as bf
+from repro.formula.minimize import (
+    implicant_to_expr,
+    quine_mccluskey,
+    table_to_expr,
+)
+
+
+def _expr_matches_table(expr, table, variables):
+    for row in range(1 << len(variables)):
+        env = {v: bool((row >> i) & 1) for i, v in enumerate(variables)}
+        if row in table:
+            assert expr.evaluate(env) == table[row], (row, table)
+
+
+class TestQuineMccluskey:
+    def test_empty(self):
+        assert quine_mccluskey([], 3) == []
+
+    def test_full_cover_collapses(self):
+        primes = quine_mccluskey(list(range(8)), 3)
+        assert primes == [(0, 0)]  # single don't-care-everything implicant
+
+    def test_single_minterm(self):
+        primes = quine_mccluskey([5], 3)
+        assert primes == [(5, 7)]
+
+    def test_classic_example(self):
+        # f(a,b) = a XOR b has no merging: two implicants remain.
+        primes = quine_mccluskey([1, 2], 2)
+        assert sorted(primes) == [(1, 3), (2, 3)]
+
+    def test_adjacent_minterms_merge(self):
+        # rows 0 and 1 differ in bit 0 only.
+        primes = quine_mccluskey([0, 1], 2)
+        assert primes == [(0, 2)]
+
+    def test_dont_cares_enable_merging(self):
+        # minterm 0 with don't-care 1 merges across bit 0.
+        primes = quine_mccluskey([0], 2, dont_cares=[1])
+        assert (0, 2) in primes
+
+
+class TestImplicantToExpr:
+    def test_full_mask(self):
+        expr = implicant_to_expr((0b101, 0b111), [1, 2, 3])
+        assert expr.evaluate({1: True, 2: False, 3: True})
+        assert not expr.evaluate({1: True, 2: True, 3: True})
+
+    def test_masked_positions_free(self):
+        expr = implicant_to_expr((0b001, 0b001), [1, 2])
+        assert expr.evaluate({1: True, 2: False})
+        assert expr.evaluate({1: True, 2: True})
+
+
+class TestTableToExpr:
+    def test_constant_tables(self):
+        assert table_to_expr({0: True, 1: True}, [1]) is bf.TRUE
+        assert table_to_expr({0: False, 1: False}, [1]) is bf.FALSE
+
+    def test_identity(self):
+        expr = table_to_expr({0: False, 1: True}, [4])
+        assert expr is bf.var(4)
+
+    def test_partial_table_respects_entries(self):
+        table = {0: True, 3: False}
+        expr = table_to_expr(table, [1, 2])
+        _expr_matches_table(expr, table, [1, 2])
+
+    def test_exhaustive_3bit_functions(self):
+        variables = [1, 2, 3]
+        for bits in range(256):
+            table = {row: bool((bits >> row) & 1) for row in range(8)}
+            expr = table_to_expr(table, variables)
+            _expr_matches_table(expr, table, variables)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.dictionaries(st.integers(min_value=0, max_value=15),
+                       st.booleans(), min_size=1, max_size=16))
+def test_partial_tables_property(table):
+    """Property: minimized DNF agrees with every specified table row."""
+    variables = [1, 2, 3, 4]
+    expr = table_to_expr(table, variables)
+    _expr_matches_table(expr, table, variables)
+    assert expr.support() <= set(variables)

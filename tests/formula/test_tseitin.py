@@ -1,0 +1,111 @@
+"""Tests for Tseitin encoding: CNF must be equisatisfiable and the
+output literal equivalent to the expression on the original variables."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.formula import boolfunc as bf
+from repro.formula.cnf import CNF
+from repro.formula.tseitin import TseitinEncoder, expr_to_cnf, \
+    negated_cnf_expr
+from repro.sat.enumerate import enumerate_models
+from repro.sat.solver import Solver, SAT, UNSAT
+
+from tests.conftest import brute_force_models
+
+
+def _assert_encoding_correct(expr, num_base_vars):
+    """Check via model enumeration that out_lit ↔ expr in every model."""
+    cnf, out = expr_to_cnf(expr, num_vars=num_base_vars)
+    base_vars = list(range(1, num_base_vars + 1))
+    for model in enumerate_models(cnf, variables=base_vars, limit=None):
+        want = expr.evaluate(model)
+        got = model[abs(out)] == (out > 0)
+        assert got == want, (expr, model)
+
+
+class TestEncoder:
+    def test_and_gate(self):
+        _assert_encoding_correct(bf.and_(bf.var(1), bf.var(2)), 2)
+
+    def test_or_gate(self):
+        _assert_encoding_correct(bf.or_(bf.var(1), bf.not_(bf.var(2))), 2)
+
+    def test_xor_gate(self):
+        _assert_encoding_correct(bf.xor(bf.var(1), bf.var(2)), 2)
+
+    def test_nary_xor_chain(self):
+        _assert_encoding_correct(
+            bf.xor(bf.var(1), bf.var(2), bf.var(3)), 3)
+
+    def test_nested(self):
+        expr = bf.or_(bf.and_(bf.var(1), bf.var(2)),
+                      bf.xor(bf.var(2), bf.var(3)))
+        _assert_encoding_correct(expr, 3)
+
+    def test_constant_true(self):
+        cnf, out = expr_to_cnf(bf.TRUE, num_vars=0)
+        solver = Solver(cnf)
+        assert solver.solve(assumptions=[out]) == SAT
+        assert solver.solve(assumptions=[-out]) == UNSAT
+
+    def test_shared_nodes_encoded_once(self):
+        cnf = CNF(num_vars=2)
+        enc = TseitinEncoder(cnf)
+        shared = bf.and_(bf.var(1), bf.var(2))
+        first = enc.encode(shared)
+        before = len(cnf)
+        second = enc.encode(bf.or_(shared, bf.var(1)))
+        assert enc.encode(shared) == first
+        assert len(cnf) > before  # or-gate clauses added
+        assert second != first
+
+    def test_assert_expr_forces_truth(self):
+        cnf = CNF(num_vars=2)
+        enc = TseitinEncoder(cnf)
+        enc.assert_expr(bf.and_(bf.var(1), bf.not_(bf.var(2))))
+        solver = Solver(cnf)
+        assert solver.solve() == SAT
+        assert solver.model[1] is True
+        assert solver.model[2] is False
+
+    def test_assert_iff(self):
+        cnf = CNF(num_vars=3)
+        enc = TseitinEncoder(cnf)
+        enc.assert_iff(3, bf.and_(bf.var(1), bf.var(2)))
+        for model in enumerate_models(cnf, variables=[1, 2, 3]):
+            assert model[3] == (model[1] and model[2])
+
+
+class TestNegatedCnfExpr:
+    def test_negation_semantics(self):
+        cnf = CNF([[1, 2], [-1, 3]])
+        neg = negated_cnf_expr(cnf)
+        for model in brute_force_models(cnf.copy()):
+            assert neg.evaluate(model) == (not cnf.evaluate(model))
+        # and on non-models:
+        assert neg.evaluate({1: False, 2: False, 3: False})
+
+    def test_empty_clause_yields_true(self):
+        cnf = CNF()
+        cnf.clauses.append(())
+        assert negated_cnf_expr(cnf).is_true()
+
+
+@st.composite
+def small_exprs(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return bf.var(draw(st.integers(min_value=1, max_value=4)))
+    op = draw(st.sampled_from(["and", "or", "xor", "not"]))
+    if op == "not":
+        return bf.not_(draw(small_exprs(depth=depth - 1)))
+    args = [draw(small_exprs(depth=depth - 1)) for _ in
+            range(draw(st.integers(min_value=2, max_value=3)))]
+    return {"and": bf.and_, "or": bf.or_, "xor": bf.xor}[op](*args)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_exprs())
+def test_tseitin_equivalence_property(expr):
+    """Property: the Tseitin output literal tracks the expression on
+    every assignment of the base variables."""
+    _assert_encoding_correct(expr, 4)

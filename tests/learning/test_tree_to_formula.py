@@ -1,0 +1,76 @@
+"""Tests for tree → formula conversion (Algorithm 2, lines 7–10)."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.formula import boolfunc as bf
+from repro.learning.decision_tree import DecisionTree
+from repro.learning.tree_to_formula import paths_to_label, tree_to_expr
+
+
+def _full_table_tree(func, features):
+    rows = [dict(zip(features, bits))
+            for bits in itertools.product([0, 1], repeat=len(features))]
+    labels = [func(r) for r in rows]
+    return DecisionTree().fit(rows, labels, features), rows, labels
+
+
+class TestPaths:
+    def test_constant_one_tree_has_empty_path(self):
+        tree = DecisionTree().fit([{1: 0}], [1], [1])
+        assert paths_to_label(tree, label=1) == [[]]
+
+    def test_constant_zero_tree_has_no_one_paths(self):
+        tree = DecisionTree().fit([{1: 0}], [0], [1])
+        assert paths_to_label(tree, label=1) == []
+
+    def test_identity_paths(self):
+        tree, _, _ = _full_table_tree(lambda r: r[3], [3])
+        paths = paths_to_label(tree, label=1)
+        assert paths == [[(3, True)]]
+
+    def test_zero_paths_complementary(self):
+        tree, _, _ = _full_table_tree(lambda r: r[1] & r[2], [1, 2])
+        ones = paths_to_label(tree, 1)
+        zeros = paths_to_label(tree, 0)
+        assert len(ones) + len(zeros) == tree.leaf_count()
+
+
+class TestTreeToExpr:
+    def test_constants(self):
+        tree = DecisionTree().fit([{1: 0}], [1], [1])
+        assert tree_to_expr(tree) is bf.TRUE
+        tree0 = DecisionTree().fit([{1: 0}], [0], [1])
+        assert tree_to_expr(tree0) is bf.FALSE
+
+    def test_expr_matches_predictions(self):
+        for func in (lambda r: r[1] & r[2],
+                     lambda r: r[1] | r[2],
+                     lambda r: r[1] ^ r[2],
+                     lambda r: int(r[1] + r[2] + r[3] >= 2)):
+            features = [1, 2, 3]
+            tree, rows, _ = _full_table_tree(func, features)
+            expr = tree_to_expr(tree)
+            for row in rows:
+                env = {f: bool(v) for f, v in row.items()}
+                assert expr.evaluate(env) == bool(tree.predict_one(row))
+
+    def test_support_within_features(self):
+        tree, _, _ = _full_table_tree(lambda r: r[2], [1, 2, 3])
+        assert tree_to_expr(tree).support() <= {1, 2, 3}
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=255))
+def test_expr_equals_tree_semantics_property(truth_bits):
+    """Property: the extracted DNF computes exactly the tree's function."""
+    features = [1, 2, 3]
+    rows = [dict(zip(features, bits))
+            for bits in itertools.product([0, 1], repeat=3)]
+    labels = [(truth_bits >> i) & 1 for i in range(8)]
+    tree = DecisionTree().fit(rows, labels, features)
+    expr = tree_to_expr(tree)
+    for row, label in zip(rows, labels):
+        env = {f: bool(v) for f, v in row.items()}
+        assert expr.evaluate(env) == bool(label)

@@ -1,0 +1,129 @@
+"""Tests for both MaxSAT algorithms against brute force."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formula.cnf import CNF
+from repro.maxsat import solve_maxsat
+from repro.utils.errors import ReproError, ResourceBudgetExceeded
+from repro.utils.timer import Deadline
+
+from tests.conftest import brute_force_maxsat, random_cnf
+
+ALGORITHMS = ("fu-malik", "linear")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+class TestBasics:
+    def test_all_softs_satisfiable(self, algorithm):
+        hard = CNF([[1, 2]])
+        result = solve_maxsat(hard, [[1], [2]], algorithm=algorithm)
+        assert result.satisfiable and result.cost == 0
+        assert result.falsified == []
+
+    def test_one_soft_must_fall(self, algorithm):
+        hard = CNF([[1, 2], [-1, -2]])
+        result = solve_maxsat(hard, [[1], [2]], algorithm=algorithm)
+        assert result.cost == 1
+        assert len(result.falsified) == 1
+
+    def test_hard_unsat(self, algorithm):
+        hard = CNF([[1], [-1]])
+        result = solve_maxsat(hard, [[2]], algorithm=algorithm)
+        assert not result.satisfiable
+
+    def test_conflicting_unit_softs(self, algorithm):
+        hard = CNF(num_vars=1)
+        result = solve_maxsat(hard, [[1], [-1]], algorithm=algorithm)
+        assert result.cost == 1
+
+    def test_duplicate_softs_count_individually(self, algorithm):
+        hard = CNF([[-1]])
+        result = solve_maxsat(hard, [[1], [1], [1]], algorithm=algorithm)
+        assert result.cost == 3
+
+    def test_model_respects_hard_clauses(self, algorithm):
+        hard = CNF([[1, 2], [-1, 3]])
+        result = solve_maxsat(hard, [[-3]], algorithm=algorithm)
+        assert hard.evaluate(result.model)
+
+    def test_non_unit_softs(self, algorithm):
+        hard = CNF([[-1], [-2]])
+        result = solve_maxsat(hard, [[1, 2], [1, 3]], algorithm=algorithm)
+        assert result.cost == 1  # (1∨3) satisfiable via 3, (1∨2) falls
+
+    def test_empty_soft_list(self, algorithm):
+        hard = CNF([[1]])
+        result = solve_maxsat(hard, [], algorithm=algorithm)
+        assert result.satisfiable and result.cost == 0
+
+
+class TestAlgorithmSelection:
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(ReproError):
+            solve_maxsat(CNF(), [], algorithm="nope")
+
+
+class TestFuzz:
+    def test_against_brute_force(self):
+        rng = random.Random(17)
+        for trial in range(120):
+            hard = random_cnf(rng, num_vars=rng.randint(1, 6),
+                              num_clauses=rng.randint(0, 10))
+            n = hard.num_vars
+            softs = [[rng.choice([1, -1]) * rng.randint(1, n)]
+                     for _ in range(rng.randint(1, 6))]
+            expected = brute_force_maxsat(hard, softs)
+            for algorithm in ALGORITHMS:
+                result = solve_maxsat(hard, softs, algorithm=algorithm,
+                                      rng=trial)
+                if expected is None:
+                    assert not result.satisfiable, (trial, algorithm)
+                else:
+                    assert result.satisfiable
+                    assert result.cost == expected, \
+                        (trial, algorithm, hard.clauses, softs)
+                    assert len(result.falsified) == result.cost
+
+    def test_algorithms_agree(self):
+        rng = random.Random(23)
+        for trial in range(60):
+            hard = random_cnf(rng, num_vars=5, num_clauses=8)
+            softs = [[rng.choice([1, -1]) * rng.randint(1, 5)]
+                     for _ in range(4)]
+            results = [solve_maxsat(hard, softs, algorithm=a, rng=trial)
+                       for a in ALGORITHMS]
+            assert results[0].satisfiable == results[1].satisfiable
+            if results[0].satisfiable:
+                assert results[0].cost == results[1].cost
+
+
+class TestBudget:
+    def test_deadline_raises(self):
+        hard = CNF([[i, i + 1] for i in range(1, 30, 2)])
+        deadline = Deadline(0.0)
+        import time
+        time.sleep(0.001)
+        with pytest.raises(ResourceBudgetExceeded):
+            solve_maxsat(hard, [[1]], deadline=deadline)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.lists(st.integers(min_value=-4, max_value=4)
+                         .filter(lambda l: l != 0),
+                         min_size=1, max_size=3),
+                min_size=0, max_size=8),
+       st.lists(st.integers(min_value=-4, max_value=4)
+                .filter(lambda l: l != 0),
+                min_size=1, max_size=5))
+def test_maxsat_optimality_property(hard_clauses, soft_lits):
+    hard = CNF(hard_clauses, num_vars=4)
+    softs = [[l] for l in soft_lits]
+    expected = brute_force_maxsat(hard, softs)
+    result = solve_maxsat(hard, softs, algorithm="fu-malik")
+    if expected is None:
+        assert not result.satisfiable
+    else:
+        assert result.cost == expected

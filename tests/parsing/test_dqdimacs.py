@@ -1,0 +1,122 @@
+"""Tests for the DQDIMACS reader/writer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parsing import parse_dqdimacs, write_dqdimacs
+from repro.utils.errors import ParseError
+
+BASIC = """c a comment
+p cnf 5 2
+a 1 2 0
+e 3 0
+d 4 1 0
+a 5 0
+1 -3 0
+4 5 0
+"""
+
+
+class TestParse:
+    def test_basic_structure(self):
+        inst = parse_dqdimacs(BASIC, name="t")
+        assert inst.universals == [1, 2, 5]
+        assert inst.dependencies[3] == frozenset({1, 2})
+        assert inst.dependencies[4] == frozenset({1})
+        assert len(inst.matrix) == 2
+
+    def test_e_depends_on_preceding_universals_only(self):
+        inst = parse_dqdimacs(BASIC)
+        assert 5 not in inst.dependencies[3]
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "c x\n\np cnf 2 1\nc y\na 1 0\nd 2 1 0\n\n1 2 0\n"
+        inst = parse_dqdimacs(text)
+        assert len(inst.matrix) == 1
+
+    def test_undeclared_matrix_vars_become_existential(self):
+        text = "p cnf 3 1\na 1 0\nd 2 1 0\n1 2 3 0\n"
+        inst = parse_dqdimacs(text)
+        assert inst.dependencies[3] == frozenset()
+
+    def test_name_defaults(self):
+        assert parse_dqdimacs(BASIC).name == "dqbf"
+        assert parse_dqdimacs(BASIC, name="x").name == "x"
+
+
+class TestParseErrors:
+    def test_missing_header(self):
+        with pytest.raises(ParseError):
+            parse_dqdimacs("a 1 0\n1 0\n")
+
+    def test_duplicate_header(self):
+        with pytest.raises(ParseError):
+            parse_dqdimacs("p cnf 1 0\np cnf 1 0\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(ParseError):
+            parse_dqdimacs("p dnf 1 1\n1 0\n")
+
+    def test_clause_count_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_dqdimacs("p cnf 1 2\n1 0\n")
+
+    def test_variable_out_of_range(self):
+        with pytest.raises(ParseError):
+            parse_dqdimacs("p cnf 1 1\n2 0\n")
+
+    def test_prefix_after_clause(self):
+        with pytest.raises(ParseError):
+            parse_dqdimacs("p cnf 2 1\na 1 0\n1 0\ne 2 0\n")
+
+    def test_double_declaration(self):
+        with pytest.raises(ParseError):
+            parse_dqdimacs("p cnf 2 0\na 1 0\ne 1 0\n")
+
+    def test_dependency_not_universal(self):
+        with pytest.raises(ParseError):
+            parse_dqdimacs("p cnf 3 0\na 1 0\ne 2 0\nd 3 2 0\n")
+
+    def test_missing_terminator(self):
+        with pytest.raises(ParseError):
+            parse_dqdimacs("p cnf 2 1\na 1 0\n1 2\n")
+
+    def test_line_number_reported(self):
+        try:
+            parse_dqdimacs("p cnf 1 1\n5 0\n")
+        except ParseError as exc:
+            assert exc.line_number == 2
+        else:  # pragma: no cover
+            raise AssertionError("expected ParseError")
+
+
+class TestWrite:
+    def test_roundtrip(self):
+        inst = parse_dqdimacs(BASIC, name="orig")
+        text = write_dqdimacs(inst, comment="roundtrip")
+        again = parse_dqdimacs(text, name="again")
+        assert again.universals == inst.universals
+        assert again.dependencies == inst.dependencies
+        assert list(again.matrix) == list(inst.matrix)
+
+    def test_comment_emitted(self):
+        inst = parse_dqdimacs(BASIC)
+        assert write_dqdimacs(inst, comment="hello\nworld").startswith(
+            "c hello\nc world\n")
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_generated_instances_roundtrip(data):
+    """Property: any generated instance survives write→parse."""
+    import random
+
+    from tests.conftest import random_small_dqbf
+
+    seed = data.draw(st.integers(min_value=0, max_value=10_000))
+    inst = random_small_dqbf(random.Random(seed))
+    text = write_dqdimacs(inst)
+    again = parse_dqdimacs(text)
+    assert again.universals == inst.universals
+    assert again.dependencies == inst.dependencies
+    assert list(again.matrix) == list(inst.matrix)

@@ -1,0 +1,56 @@
+"""Tests for the evaluation report renderer."""
+
+from repro.core.result import Status
+from repro.portfolio.report import render_report
+from repro.portfolio.runner import ResultTable, RunRecord
+
+
+def build_table():
+    records = []
+
+    def rec(engine, inst, status, t):
+        certified = True if status == Status.SYNTHESIZED else None
+        records.append(RunRecord(engine, inst, status, t,
+                                 certified=certified))
+
+    rec("manthan3", "easy", Status.SYNTHESIZED, 1.0)
+    rec("expansion", "easy", Status.SYNTHESIZED, 0.5)
+    rec("pedant", "easy", Status.SYNTHESIZED, 2.0)
+    rec("manthan3", "m3only", Status.SYNTHESIZED, 3.0)
+    rec("expansion", "m3only", Status.UNKNOWN, 0.1)
+    rec("pedant", "m3only", Status.TIMEOUT, 10.0)
+    rec("manthan3", "hard", Status.UNKNOWN, 0.2)
+    rec("expansion", "hard", Status.SYNTHESIZED, 1.5)
+    rec("pedant", "hard", Status.SYNTHESIZED, 1.2)
+    return ResultTable(records, timeout=10.0)
+
+
+class TestRenderReport:
+    def test_sections_present(self):
+        lines = render_report(build_table())
+        text = "\n".join(lines)
+        for section in ("solved counts", "virtual best synthesizer",
+                        "pairwise comparisons", "fastest engine",
+                        "unique solves", "unsolved-but-solvable"):
+            assert section in text, section
+
+    def test_counts_correct(self):
+        text = "\n".join(render_report(build_table()))
+        counts_line = next(l for l in text.splitlines()
+                           if "manthan3" in l and "/" in l)
+        assert "2 / 3" in counts_line
+        assert "VBS(all): 3 solved (+1 from manthan3)" in text
+
+    def test_unique_solves_listed(self):
+        text = "\n".join(render_report(build_table()))
+        assert "m3only" in text
+
+    def test_display_names(self):
+        lines = render_report(build_table(),
+                              display_names={"expansion": "HQS2*"})
+        text = "\n".join(lines)
+        assert "HQS2*" in text
+
+    def test_incompleteness_breakdown(self):
+        text = "\n".join(render_report(build_table()))
+        assert "incompleteness (UNKNOWN): 1" in text

@@ -1,0 +1,105 @@
+"""Tests for the VBS analytics (the §6 quantities)."""
+
+import pytest
+
+from repro.core.result import Status
+from repro.portfolio.runner import ResultTable, RunRecord
+from repro.portfolio.vbs import (
+    cactus_series,
+    fastest_counts,
+    scatter_pairs,
+    solved_counts,
+    unique_solves,
+    unsolved_breakdown,
+    vbs_times,
+    within_slack_of_vbs,
+)
+
+
+@pytest.fixture
+def table():
+    """Three engines, four instances, mirroring the paper's shape:
+    i1 everyone solves, i2 only m3, i3 only baselines, i4 nobody."""
+    records = []
+
+    def rec(engine, inst, status, t, certified=None):
+        if status == Status.SYNTHESIZED:
+            certified = True
+        records.append(RunRecord(engine, inst, status, t,
+                                 certified=certified))
+
+    rec("m3", "i1", Status.SYNTHESIZED, 2.0)
+    rec("hqs", "i1", Status.SYNTHESIZED, 1.0)
+    rec("pedant", "i1", Status.SYNTHESIZED, 3.0)
+    rec("m3", "i2", Status.SYNTHESIZED, 5.0)
+    rec("hqs", "i2", Status.UNKNOWN, 0.1)
+    rec("pedant", "i2", Status.TIMEOUT, 10.0)
+    rec("m3", "i3", Status.UNKNOWN, 0.5)
+    rec("hqs", "i3", Status.SYNTHESIZED, 4.0)
+    rec("pedant", "i3", Status.SYNTHESIZED, 6.0)
+    rec("m3", "i4", Status.TIMEOUT, 10.0)
+    rec("hqs", "i4", Status.TIMEOUT, 10.0)
+    rec("pedant", "i4", Status.TIMEOUT, 10.0)
+    return ResultTable(records, timeout=10.0)
+
+
+class TestVbsTimes:
+    def test_min_over_members(self, table):
+        times = vbs_times(table, ["m3", "hqs", "pedant"])
+        assert times == {"i1": 1.0, "i2": 5.0, "i3": 4.0}
+
+    def test_subset_portfolio(self, table):
+        times = vbs_times(table, ["hqs", "pedant"])
+        assert set(times) == {"i1", "i3"}
+
+
+class TestCactus:
+    def test_sorted_series(self, table):
+        series = cactus_series(table, ["m3", "hqs", "pedant"])
+        assert series == [1.0, 4.0, 5.0]
+
+    def test_vbs_improvement_visible(self, table):
+        """The Figure 6 statement: VBS+Manthan3 solves strictly more."""
+        without = cactus_series(table, ["hqs", "pedant"])
+        with_m3 = cactus_series(table, ["m3", "hqs", "pedant"])
+        assert len(with_m3) > len(without)
+
+
+class TestScatter:
+    def test_pairs_use_timeout_for_unsolved(self, table):
+        pairs = {p[0]: (p[1], p[2])
+                 for p in scatter_pairs(table, "m3", "hqs")}
+        assert pairs["i2"] == (5.0, 10.0)
+        assert pairs["i3"] == (10.0, 4.0)
+        assert pairs["i4"] == (10.0, 10.0)
+
+    def test_vbs_side(self, table):
+        pairs = {p[0]: (p[1], p[2])
+                 for p in scatter_pairs(table, "m3", ["hqs", "pedant"])}
+        assert pairs["i1"] == (2.0, 1.0)
+
+
+class TestCounts:
+    def test_solved_counts(self, table):
+        assert solved_counts(table) == {"m3": 2, "hqs": 2, "pedant": 2}
+
+    def test_unique_solves(self, table):
+        assert unique_solves(table, "m3", ["hqs", "pedant"]) == ["i2"]
+        assert unique_solves(table, "hqs", ["m3"]) == ["i3"]
+
+    def test_fastest_counts(self, table):
+        counts = fastest_counts(table)
+        assert counts["hqs"] == 2   # i1 and i3
+        assert counts["m3"] == 1    # i2
+        assert counts["pedant"] == 0
+
+    def test_within_slack(self, table):
+        hits = within_slack_of_vbs(table, "m3", ["hqs", "pedant"],
+                                   slack=1.0)
+        assert "i1" in hits   # 2.0 ≤ 1.0 + 1.0
+        assert "i2" in hits   # VBS(others) unsolved ⇒ trivially within
+
+    def test_unsolved_breakdown(self, table):
+        breakdown = unsolved_breakdown(table, "m3")
+        assert breakdown["UNKNOWN"] == ["i3"]
+        assert breakdown["TIMEOUT"] == ["i4"]

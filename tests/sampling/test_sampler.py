@@ -1,0 +1,74 @@
+"""Tests for the constrained sampler."""
+
+import pytest
+
+from repro.formula.cnf import CNF
+from repro.sampling import Sampler, sample_models
+from repro.utils.errors import ResourceBudgetExceeded
+from repro.utils.timer import Deadline
+
+
+class TestSampler:
+    def test_samples_are_models(self):
+        cnf = CNF([[1, 2], [-1, 3], [-2, -3]])
+        for model in sample_models(cnf, 30, rng=1):
+            assert cnf.evaluate(model)
+
+    def test_requested_count(self):
+        cnf = CNF(num_vars=5)
+        assert len(sample_models(cnf, 25, rng=2)) == 25
+
+    def test_unsat_yields_empty(self):
+        cnf = CNF([[1], [-1]])
+        assert sample_models(cnf, 10) == []
+
+    def test_deterministic_under_seed(self):
+        cnf = CNF([[1, 2, 3]], num_vars=3)
+        a = sample_models(cnf, 10, rng=42)
+        b = sample_models(cnf, 10, rng=42)
+        assert a == b
+
+    def test_seeds_change_samples(self):
+        cnf = CNF([[1, 2, 3]], num_vars=3)
+        a = sample_models(cnf, 20, rng=1)
+        b = sample_models(cnf, 20, rng=2)
+        assert a != b
+
+    def test_diversity_on_unconstrained_formula(self):
+        """Sampler must not return one model over and over."""
+        cnf = CNF(num_vars=6)
+        models = sample_models(cnf, 40, rng=3)
+        distinct = {tuple(sorted(m.items())) for m in models}
+        assert len(distinct) > 10
+
+    def test_marginals_roughly_balanced(self):
+        """On a free variable, the sampled marginal should not collapse
+        to one polarity (the whole point of randomized polarities)."""
+        cnf = CNF(num_vars=4)
+        models = sample_models(cnf, 60, rng=4)
+        trues = sum(1 for m in models if m[1])
+        assert 5 <= trues <= 55
+
+    def test_adaptive_weighting_tracks_skew(self):
+        """Variable 2 is forced by 1 in most of the space; weighted
+        sampling keeps drawing valid, varied samples."""
+        cnf = CNF([[-1, 2]])
+        sampler = Sampler(cnf, rng=5, weighted_vars=[2], pilot=5)
+        models = sampler.draw(30)
+        assert all(cnf.evaluate(m) for m in models)
+        assert 2 in sampler._weights
+
+    def test_weight_clamping(self):
+        cnf = CNF([[2]])  # y always true
+        sampler = Sampler(cnf, rng=6, weighted_vars=[2], pilot=3,
+                          bias_floor=0.2, bias_ceiling=0.8)
+        sampler.draw(10)
+        assert sampler._weights[2] == 0.8
+
+    def test_deadline_enforced(self):
+        cnf = CNF([[1, 2]])
+        deadline = Deadline(0.0)
+        import time
+        time.sleep(0.001)
+        with pytest.raises(ResourceBudgetExceeded):
+            Sampler(cnf).draw(5, deadline=deadline)

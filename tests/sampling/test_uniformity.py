@@ -1,0 +1,85 @@
+"""Statistical quality checks for the constrained sampler.
+
+CMSGen (the paper's sampler) is "uniform-like"; learning only needs the
+sample distribution to cover the solution space without collapsing.
+These tests quantify that: the BDD engine supplies exact model counts,
+and a chi-square statistic over the sampled solution frequencies checks
+the empirical distribution is not wildly skewed.  The thresholds are
+deliberately loose — this is a CDCL-based heuristic sampler, not a
+hashing-based uniform one.
+"""
+
+import math
+
+from repro.formula.bdd import BDDManager
+from repro.formula.cnf import CNF
+from repro.sampling import Sampler
+from repro.sampling.xor import add_parity_constraint
+
+
+def _solution_space(cnf, variables):
+    manager = BDDManager(var_order=variables)
+    node = manager.from_cnf(cnf)
+    return manager, node
+
+
+class TestCoverage:
+    def test_all_solutions_reachable(self):
+        """On a small space every solution should appear eventually."""
+        cnf = CNF([[1, 2, 3]], num_vars=3)
+        manager, node = _solution_space(cnf, [1, 2, 3])
+        total = manager.count_models(node, [1, 2, 3])
+        assert total == 7
+        sampler = Sampler(cnf, rng=11)
+        seen = set()
+        for model in sampler.draw(250):
+            seen.add((model[1], model[2], model[3]))
+        assert len(seen) == total
+
+    def test_no_single_solution_dominates(self):
+        cnf = CNF([[1, 2], [-1, -2, 3]], num_vars=3)
+        sampler = Sampler(cnf, rng=7)
+        counts = {}
+        draws = 300
+        for model in sampler.draw(draws):
+            key = (model[1], model[2], model[3])
+            counts[key] = counts.get(key, 0) + 1
+        assert max(counts.values()) < 0.6 * draws
+
+
+class TestChiSquare:
+    def test_unconstrained_space_roughly_uniform(self):
+        """4 free variables, 16 cells: the chi-square statistic should
+        stay below a generous bound (exact uniform: E[X²] ≈ 15)."""
+        cnf = CNF(num_vars=4)
+        sampler = Sampler(cnf, rng=3)
+        draws = 480
+        expected = draws / 16
+        counts = {}
+        for model in sampler.draw(draws):
+            key = tuple(model[v] for v in range(1, 5))
+            counts[key] = counts.get(key, 0) + 1
+        chi2 = sum((counts.get(key, 0) - expected) ** 2 / expected
+                   for key in
+                   [tuple(bool(i >> b & 1) for b in range(4))
+                    for i in range(16)])
+        # df = 15; a heuristic sampler passes a very loose 10x bound.
+        assert chi2 < 150, chi2
+
+    def test_parity_constrained_space(self):
+        """Sampling inside an XOR cell still covers it broadly."""
+        cnf = CNF(num_vars=4)
+        add_parity_constraint(cnf, [1, 2, 3, 4], True)
+        all_vars = list(range(1, cnf.num_vars + 1))
+        manager, node = _solution_space(cnf, all_vars)
+        # chain auxiliaries are functionally determined, so counting
+        # over all variables still yields the 8 parity-odd points
+        total = manager.count_models(node, all_vars)
+        assert total == 8
+        sampler = Sampler(cnf, rng=9)
+        seen = set()
+        for model in sampler.draw(200):
+            key = tuple(model[v] for v in range(1, 5))
+            assert sum(key) % 2 == 1  # stays inside the cell
+            seen.add(key)
+        assert len(seen) >= 6  # covers (nearly) the whole cell

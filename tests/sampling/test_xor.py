@@ -1,0 +1,59 @@
+"""Tests for XOR (parity) constraint encoding."""
+
+import random
+
+from repro.formula.cnf import CNF
+from repro.sampling.xor import add_parity_constraint, random_xor_constraints
+from repro.sat.enumerate import count_models, enumerate_models
+from repro.sat.solver import solve_cnf, SAT, UNSAT
+
+
+class TestParityConstraint:
+    def test_single_variable(self):
+        cnf = CNF(num_vars=1)
+        add_parity_constraint(cnf, [1], True)
+        status, model = solve_cnf(cnf)
+        assert status == SAT and model[1] is True
+
+    def test_even_parity_two_vars(self):
+        cnf = CNF(num_vars=2)
+        add_parity_constraint(cnf, [1, 2], False)
+        for model in enumerate_models(cnf, variables=[1, 2]):
+            assert (model[1] ^ model[2]) is False
+
+    def test_odd_parity_three_vars(self):
+        cnf = CNF(num_vars=3)
+        add_parity_constraint(cnf, [1, 2, 3], True)
+        models = list(enumerate_models(cnf, variables=[1, 2, 3]))
+        assert len(models) == 4
+        for model in models:
+            assert (model[1] + model[2] + model[3]) % 2 == 1
+
+    def test_empty_even_is_noop(self):
+        cnf = CNF(num_vars=2)
+        add_parity_constraint(cnf, [], False)
+        assert count_models(cnf, variables=[1, 2]) == 4
+
+    def test_empty_odd_is_contradiction(self):
+        cnf = CNF(num_vars=1)
+        add_parity_constraint(cnf, [], True)
+        assert solve_cnf(cnf)[0] == UNSAT
+
+
+class TestRandomXors:
+    def test_halving_on_average(self):
+        """Each XOR should cut the (free) solution space roughly in half;
+        check the exact halving on a free space for several seeds."""
+        rng = random.Random(11)
+        for _ in range(5):
+            cnf = CNF(num_vars=6)
+            random_xor_constraints(cnf, range(1, 7), 2, rng)
+            count = count_models(cnf, variables=list(range(1, 7)))
+            # 2 XORs over a 64-point space: expect 16 when independent,
+            # up to 64 in degenerate draws (empty XOR sets).
+            assert count in (0, 16, 32, 64)
+
+    def test_preserves_mutation_contract(self):
+        cnf = CNF(num_vars=3)
+        out = random_xor_constraints(cnf, [1, 2, 3], 1, random.Random(3))
+        assert out is cnf

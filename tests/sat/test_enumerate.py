@@ -1,0 +1,75 @@
+"""Tests for model enumeration."""
+
+import random
+
+import pytest
+
+from repro.formula.cnf import CNF
+from repro.sat.enumerate import block_assignment, count_models, \
+    enumerate_models
+from repro.sat.solver import Solver, SAT
+from repro.utils.errors import ResourceBudgetExceeded
+
+from tests.conftest import brute_force_models, random_cnf
+
+
+class TestEnumerate:
+    def test_counts_match_brute_force(self):
+        rng = random.Random(5)
+        for trial in range(60):
+            cnf = random_cnf(rng, num_vars=5, num_clauses=10)
+            expected = len(brute_force_models(cnf))
+            got = count_models(cnf, variables=list(range(1, 6)))
+            assert got == expected, (trial, cnf.clauses)
+
+    def test_projection_counts(self):
+        # (1 ∨ 2) ∧ (3 free): projecting onto {1,2} counts 3 classes.
+        cnf = CNF([[1, 2]], num_vars=3)
+        assert count_models(cnf, variables=[1, 2]) == 3
+
+    def test_limit(self):
+        cnf = CNF(num_vars=4)
+        models = list(enumerate_models(cnf, variables=[1, 2, 3, 4],
+                                       limit=5))
+        assert len(models) == 5
+
+    def test_models_are_distinct_on_projection(self):
+        cnf = CNF([[1, 2]], num_vars=2)
+        seen = set()
+        for model in enumerate_models(cnf, variables=[1, 2]):
+            key = (model[1], model[2])
+            assert key not in seen
+            seen.add(key)
+
+    def test_unsat_yields_nothing(self):
+        cnf = CNF([[1], [-1]])
+        assert list(enumerate_models(cnf)) == []
+
+    def test_empty_projection_single_class(self):
+        cnf = CNF([[1, 2]], num_vars=2)
+        assert count_models(cnf, variables=[]) == 1
+
+    def test_budget_exhaustion_raises(self):
+        # PHP-style hard instance with a tiny conflict budget.
+        cnf = CNF()
+        n = 7
+        for p in range(n):
+            cnf.add_clause([p * (n - 1) + h + 1 for h in range(n - 1)])
+        for h in range(n - 1):
+            for p1 in range(n):
+                for p2 in range(p1 + 1, n):
+                    cnf.add_clause([-(p1 * (n - 1) + h + 1),
+                                    -(p2 * (n - 1) + h + 1)])
+        with pytest.raises(ResourceBudgetExceeded):
+            list(enumerate_models(cnf, conflict_budget=2))
+
+
+class TestBlockAssignment:
+    def test_blocks_exactly_one_assignment(self):
+        cnf = CNF(num_vars=2)
+        solver = Solver(cnf)
+        assert solver.solve() == SAT
+        model = solver.model
+        block_assignment(solver, model, [1, 2])
+        assert solver.solve() == SAT
+        assert (solver.model[1], solver.model[2]) != (model[1], model[2])

@@ -1,0 +1,104 @@
+"""Stress and robustness tests for the CDCL solver."""
+
+import random
+
+from repro.formula.cnf import CNF
+from repro.sampling.xor import add_parity_constraint
+from repro.sat.solver import Solver, SAT, UNSAT
+
+from tests.conftest import brute_force_satisfiable, random_cnf
+
+
+class TestXorChains:
+    """Parity formulas exercise long implication chains and learning."""
+
+    def test_consistent_parity_system_sat(self):
+        rng = random.Random(3)
+        cnf = CNF(num_vars=14)
+        # planted solution defines consistent parities
+        planted = {v: rng.random() < 0.5 for v in range(1, 15)}
+        for _ in range(10):
+            chosen = [v for v in range(1, 15) if rng.random() < 0.5]
+            parity = sum(planted[v] for v in chosen) % 2 == 1
+            add_parity_constraint(cnf, chosen, parity)
+        solver = Solver(cnf, rng=1)
+        assert solver.solve() == SAT
+        # planted assignment satisfies; found model must too
+        assert cnf.evaluate(solver.model)
+
+    def test_contradictory_parity_system_unsat(self):
+        cnf = CNF(num_vars=6)
+        variables = [1, 2, 3, 4, 5, 6]
+        add_parity_constraint(cnf, variables, True)
+        add_parity_constraint(cnf, variables, False)
+        assert Solver(cnf).solve() == UNSAT
+
+
+class TestIncrementalStress:
+    def test_many_assumption_rounds(self):
+        rng = random.Random(9)
+        cnf = random_cnf(rng, num_vars=10, num_clauses=30)
+        solver = Solver(cnf, rng=0)
+        baseline = solver.solve()
+        for round_no in range(100):
+            assumptions = [rng.choice([1, -1]) * rng.randint(1, 10)
+                           for _ in range(3)]
+            status = solver.solve(assumptions=assumptions)
+            assert status in (SAT, UNSAT)
+            if status == SAT:
+                assert cnf.evaluate(solver.model)
+                for a in set(assumptions):
+                    if -a not in assumptions:
+                        value = solver.model[abs(a)]
+                        assert value == (a > 0)
+        # the solver still answers the unconditional query correctly
+        assert solver.solve() == baseline
+
+    def test_growing_formula(self):
+        solver = Solver(CNF(num_vars=8))
+        rng = random.Random(4)
+        reference = CNF(num_vars=8)
+        status = SAT
+        for _ in range(60):
+            clause = [rng.choice([1, -1]) * rng.randint(1, 8)
+                      for _ in range(rng.randint(1, 3))]
+            reference.add_clause(clause)
+            solver.add_clause(clause)
+            status = solver.solve()
+            expected = brute_force_satisfiable(reference)
+            assert (status == SAT) == expected
+            if status == UNSAT:
+                break
+        # once UNSAT, it must stay UNSAT
+        if status == UNSAT:
+            solver.add_clause([1])
+            assert solver.solve() == UNSAT
+
+
+class TestWeightedPolarity:
+    def _true_fraction(self, weight, rounds=40):
+        trues = 0
+        for i in range(rounds):
+            solver = Solver(CNF(num_vars=1), rng=i,
+                            polarity_mode="weighted",
+                            polarity_weights={1: weight})
+            assert solver.solve() == SAT
+            trues += solver.model[1]
+        return trues / rounds
+
+    def test_weights_bias_free_variables(self):
+        assert self._true_fraction(0.95) > 0.7
+        assert self._true_fraction(0.05) < 0.3
+
+
+class TestLearntClauseManagement:
+    def test_reduce_db_does_not_break_correctness(self):
+        """Force many conflicts so reduce_db fires, then check result."""
+        rng = random.Random(12)
+        for trial in range(5):
+            cnf = random_cnf(rng, num_vars=9, num_clauses=38)
+            expected = brute_force_satisfiable(cnf)
+            solver = Solver(cnf, rng=trial)
+            # tiny learnt budget: force aggressive reduction
+            status = solver.solve()
+            assert (status == SAT) == expected

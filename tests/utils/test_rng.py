@@ -1,0 +1,45 @@
+"""Tests for deterministic RNG plumbing."""
+
+import random
+
+from repro.utils.rng import make_rng, spawn
+
+
+class TestMakeRng:
+    def test_none_is_deterministic(self):
+        assert make_rng(None).random() == make_rng(None).random()
+
+    def test_seed_is_deterministic(self):
+        assert make_rng(42).random() == make_rng(42).random()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_passthrough_of_existing_rng(self):
+        rng = random.Random(7)
+        assert make_rng(rng) is rng
+
+
+class TestSpawn:
+    def test_children_are_deterministic(self):
+        a = spawn(make_rng(5), 1).random()
+        b = spawn(make_rng(5), 1).random()
+        assert a == b
+
+    def test_salt_separates_streams(self):
+        parent = make_rng(5)
+        a = spawn(parent, 1).random()
+        parent2 = make_rng(5)
+        b = spawn(parent2, 2).random()
+        assert a != b
+
+    def test_spawn_advances_parent(self):
+        parent = make_rng(9)
+        spawn(parent, 0)
+        spawn(parent, 0)
+        # two spawns with the same salt from an advancing parent differ
+        p1, p2 = make_rng(9), make_rng(9)
+        c1 = spawn(p1, 0)
+        spawn(p2, 0)
+        c2 = spawn(p2, 0)
+        assert c1.random() != c2.random()

@@ -1,0 +1,84 @@
+"""Tests for stopwatches and cooperative deadlines."""
+
+import time
+
+import pytest
+
+from repro.utils.errors import ResourceBudgetExceeded
+from repro.utils.timer import Deadline, Stopwatch
+
+
+class TestStopwatch:
+    def test_initially_zero(self):
+        assert Stopwatch().elapsed == 0.0
+
+    def test_accumulates_time(self):
+        sw = Stopwatch().start()
+        time.sleep(0.01)
+        elapsed = sw.stop()
+        assert elapsed >= 0.009
+        assert sw.elapsed == elapsed
+
+    def test_stop_without_start_is_noop(self):
+        sw = Stopwatch()
+        assert sw.stop() == 0.0
+
+    def test_double_start_does_not_reset(self):
+        sw = Stopwatch().start()
+        time.sleep(0.005)
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert sw.elapsed >= 0.004
+
+    def test_restart_accumulates(self):
+        sw = Stopwatch().start()
+        time.sleep(0.005)
+        first = sw.stop()
+        sw.start()
+        time.sleep(0.005)
+        second = sw.stop()
+        assert second > first
+
+    def test_context_manager(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.005)
+        assert not sw.running
+        assert sw.elapsed >= 0.004
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        d = Deadline(None)
+        assert not d.expired()
+        assert d.remaining() is None
+        d.check()  # must not raise
+
+    def test_expires(self):
+        d = Deadline(0.005)
+        time.sleep(0.01)
+        assert d.expired()
+        with pytest.raises(ResourceBudgetExceeded):
+            d.check()
+
+    def test_remaining_counts_down(self):
+        d = Deadline(10.0)
+        first = d.remaining()
+        time.sleep(0.005)
+        assert d.remaining() < first
+
+    def test_remaining_clamps_at_zero(self):
+        d = Deadline(0.001)
+        time.sleep(0.005)
+        assert d.remaining() == 0.0
+
+    def test_budget_attached_to_exception(self):
+        d = Deadline(0.0)
+        time.sleep(0.001)
+        try:
+            d.check()
+        except ResourceBudgetExceeded as exc:
+            assert exc.budget == 0.0
+        else:  # pragma: no cover
+            raise AssertionError("expected ResourceBudgetExceeded")
