@@ -2,7 +2,9 @@
 
 Sanity timings for the from-scratch components the engines sit on: the
 CDCL solver, the MaxSAT solvers, the constrained sampler, the decision
-tree and the Tseitin encoder.  Useful to spot regressions when tuning.
+tree, the Tseitin encoder — and the parallel campaign scheduler that
+fans engine runs over worker processes.  Useful to spot regressions
+when tuning.
 """
 
 import random
@@ -118,3 +120,22 @@ def test_tseitin_encoding(benchmark):
 
     cnf = benchmark(encode)
     assert len(cnf) > 0
+
+
+def test_parallel_campaign_throughput(benchmark):
+    """Pool-path campaign over the smoke suite: scheduler + fork
+    overhead on top of the engine runs themselves."""
+    from benchmarks.conftest import bench_jobs, bench_timeout
+    from repro.benchgen import build_suite
+    from repro.portfolio import run_campaign
+
+    suite = build_suite("smoke", seed=3)
+
+    def run():
+        return run_campaign(suite, ["manthan3", "expansion"],
+                            timeout=bench_timeout(), seed=3,
+                            jobs=max(2, bench_jobs()))
+
+    table = benchmark(run)
+    assert len(table.records) == 2 * len(suite)
+    assert table.solved_instances("expansion")

@@ -19,7 +19,7 @@ from repro.portfolio import (
 ALL = ["manthan3", "expansion", "pedant"]
 
 
-def test_table1_solved_counts(campaign, benchmark):
+def test_table1_solved_counts(campaign, campaign_config, benchmark):
     def regenerate():
         return {
             "solved": solved_counts(campaign, ALL),
@@ -46,6 +46,9 @@ def test_table1_solved_counts(campaign, benchmark):
 
     lines = [
         "TAB1 (prose counts of §6), suite of %d instances" % total,
+        "campaign: suite=%s seed=%d timeout=%.0fs jobs=%d"
+        % (campaign_config["suite"], campaign_config["seed"],
+           campaign_config["timeout"], campaign_config["jobs"]),
         "",
         "%-28s %8s %8s" % ("quantity", "paper", "ours"),
         "%-28s %8s %8d" % ("solved by HQS2*", "148",

@@ -3,13 +3,7 @@
 import argparse
 import sys
 
-from repro.baselines import (
-    BDDSynthesizer,
-    ExpansionSynthesizer,
-    PedantLikeSynthesizer,
-    SkolemCompositionSynthesizer,
-)
-from repro.core import Manthan3, Manthan3Config, Status
+from repro.core import Status
 from repro.dqbf import check_false_witness, check_henkin_vector
 from repro.formula.aig import write_henkin_aiger
 from repro.formula.verilog import write_henkin_verilog
@@ -17,17 +11,27 @@ from repro.parsing import parse_dqdimacs, parse_qdimacs, write_dqdimacs
 
 
 def _make_engine(name, seed):
-    if name == "manthan3":
-        return Manthan3(Manthan3Config(seed=seed))
-    if name == "expansion":
-        return ExpansionSynthesizer(seed=seed)
-    if name == "pedant":
-        return PedantLikeSynthesizer(seed=seed)
-    if name == "skolem":
-        return SkolemCompositionSynthesizer(seed=seed)
-    if name == "bdd":
-        return BDDSynthesizer(seed=seed)
-    raise SystemExit("unknown engine %r" % name)
+    from repro.portfolio import make_engine
+    from repro.utils.errors import ReproError
+
+    try:
+        return make_engine(name, seed)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+
+
+def _parse_engines(spec):
+    from repro.portfolio import engine_names
+
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    if not names:
+        raise SystemExit("no engines selected")
+    known = set(engine_names())
+    for name in names:
+        if name not in known:
+            raise SystemExit("unknown engine %r (choose from %s)"
+                             % (name, ", ".join(sorted(known))))
+    return names
 
 
 def _load_instance(path, fmt):
@@ -143,30 +147,76 @@ def cmd_gen(args):
     return 0
 
 
+def _print_progress(record):
+    print("  %-10s %-40s %-12s %6.2f s"
+          % (record.engine, record.instance, record.status,
+             record.time), file=sys.stderr)
+
+
+def _emit_report(table, output):
+    from repro.portfolio.report import render_report
+
+    text = "\n".join(render_report(table)) + "\n"
+    if output:
+        with open(output, "w") as handle:
+            handle.write(text)
+        print("wrote %s" % output, file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+
+
 def cmd_bench(args):
     from repro.benchgen import build_suite
     from repro.portfolio import run_portfolio
-    from repro.portfolio.report import render_report
 
     suite = build_suite(args.suite, seed=args.seed)
     engines = [_make_engine(name, args.seed)
                for name in ("manthan3", "expansion", "pedant")]
+    table = run_portfolio(suite, engines, timeout=args.timeout,
+                          jobs=args.jobs, seed=args.seed,
+                          progress=_print_progress if args.verbose
+                          else None)
+    _emit_report(table, args.output)
+    return 0
+
+
+def cmd_run_suite(args):
+    """Batch campaign: generated suite × engine selection, parallel
+    and resumable."""
+    from repro.benchgen import build_suite
+    from repro.portfolio import CampaignStore, run_campaign
+
+    engines = _parse_engines(args.engines)
+    suite = build_suite(args.suite, seed=args.seed)
+    if args.limit is not None:
+        suite = suite[:args.limit]
+
+    store = CampaignStore(args.out) if args.out else None
+    executed = [0]
 
     def progress(record):
-        print("  %-10s %-40s %-12s %6.2f s"
-              % (record.engine, record.instance, record.status,
-                 record.time), file=sys.stderr)
+        executed[0] += 1
+        if args.verbose:
+            _print_progress(record)
 
-    table = run_portfolio(suite, engines, timeout=args.timeout,
-                          progress=progress if args.verbose else None)
-    lines = render_report(table)
-    text = "\n".join(lines) + "\n"
-    if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text)
-        print("wrote %s" % args.output, file=sys.stderr)
-    else:
-        sys.stdout.write(text)
+    from repro.utils.errors import ReproError
+
+    try:
+        table = run_campaign(suite, engines, timeout=args.timeout,
+                             jobs=args.jobs, seed=args.seed, store=store,
+                             resume=args.resume, progress=progress)
+    except ReproError as exc:  # e.g. resume parameter mismatch
+        raise SystemExit(str(exc))
+    # progress fires only for executed runs; every other pair of the
+    # campaign was loaded from the store.
+    resumed = len(suite) * len(engines) - executed[0]
+    print("campaign: %d instances x %d engines -> %d runs executed, "
+          "%d resumed (jobs=%d)"
+          % (len(suite), len(engines), executed[0], resumed, args.jobs),
+          file=sys.stderr)
+    if store is not None:
+        print("campaign store: %s" % store.path, file=sys.stderr)
+    _emit_report(table, args.report)
     return 0
 
 
@@ -208,9 +258,37 @@ def build_parser():
                        choices=["smoke", "small", "medium"])
     bench.add_argument("--timeout", type=float, default=10.0)
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1)")
     bench.add_argument("--verbose", action="store_true")
     bench.add_argument("-o", "--output", default=None)
     bench.set_defaults(func=cmd_bench)
+
+    run_suite = sub.add_parser(
+        "run-suite",
+        help="parallel, resumable campaign over a generated suite")
+    run_suite.add_argument("--suite", default="small",
+                           choices=["smoke", "small", "medium"])
+    run_suite.add_argument("--engines",
+                           default="manthan3,expansion,pedant",
+                           help="comma-separated engine names")
+    run_suite.add_argument("--timeout", type=float, default=10.0)
+    run_suite.add_argument("--seed", type=int, default=0)
+    run_suite.add_argument("--jobs", type=int, default=1,
+                           help="worker processes (default 1)")
+    run_suite.add_argument("--limit", type=int, default=None,
+                           help="cap the suite at its first N instances")
+    run_suite.add_argument("--out", default=None,
+                           help="campaign store (JSONL), streamed as "
+                                "runs complete")
+    run_suite.add_argument("--resume", action="store_true",
+                           help="skip (engine, instance) pairs already "
+                                "in --out")
+    run_suite.add_argument("--report", default=None,
+                           help="write the evaluation report here "
+                                "instead of stdout")
+    run_suite.add_argument("--verbose", action="store_true")
+    run_suite.set_defaults(func=cmd_run_suite)
     return parser
 
 

@@ -8,13 +8,17 @@ class Status:
     * ``FALSE`` — the instance was proved False (no vector exists);
     * ``UNKNOWN`` — the engine gave up for an algorithmic reason
       (Manthan3's incompleteness, expansion blow-up guard, …);
-    * ``TIMEOUT`` — a wall-clock/conflict budget expired.
+    * ``TIMEOUT`` — a wall-clock/conflict budget expired;
+    * ``INVALID`` — assigned by the portfolio runner (never by an
+      engine) when a claimed vector or falsity witness fails
+      independent certification.
     """
 
     SYNTHESIZED = "SYNTHESIZED"
     FALSE = "FALSE"
     UNKNOWN = "UNKNOWN"
     TIMEOUT = "TIMEOUT"
+    INVALID = "INVALID"
 
 
 class SynthesisResult:

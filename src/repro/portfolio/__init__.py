@@ -6,9 +6,28 @@ it, at the minimum member time.  This package runs engine suites over
 instance lists (certificate-checking every claimed vector) and computes
 the quantities behind Figure 6 (cactus), Figures 7–10 (scatters) and the
 solved/unique/fastest counts quoted in the text.
+
+Campaigns scale out through :mod:`repro.portfolio.parallel` (a
+process pool with hard per-run deadlines and deterministic per-job
+seeding) and persist through :mod:`repro.portfolio.store` (a resumable
+JSONL record stream that round-trips back into a
+:class:`~repro.portfolio.runner.ResultTable`).
 """
 
-from repro.portfolio.runner import RunRecord, ResultTable, run_portfolio
+from repro.portfolio.parallel import (
+    ENGINE_BUILDERS,
+    derive_job_seed,
+    engine_names,
+    make_engine,
+    run_campaign,
+)
+from repro.portfolio.runner import (
+    ResultTable,
+    RunRecord,
+    evaluate_run,
+    run_portfolio,
+)
+from repro.portfolio.store import CampaignStore
 from repro.portfolio.vbs import (
     vbs_times,
     cactus_series,
@@ -24,6 +43,13 @@ __all__ = [
     "RunRecord",
     "ResultTable",
     "run_portfolio",
+    "run_campaign",
+    "evaluate_run",
+    "CampaignStore",
+    "ENGINE_BUILDERS",
+    "engine_names",
+    "make_engine",
+    "derive_job_seed",
     "vbs_times",
     "cactus_series",
     "scatter_pairs",

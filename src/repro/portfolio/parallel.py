@@ -1,0 +1,382 @@
+"""Process-parallel campaign execution.
+
+The paper's evaluation is a campaign: every engine on every instance
+under a wall-clock budget, with every claim certified.  This module
+fans those (engine, instance) jobs across a ``multiprocessing`` worker
+pool:
+
+* **Isolation** — each run executes in its own forked process, so a
+  pathological instance cannot corrupt or starve its siblings.
+* **Hard timeouts** — the worker passes the budget to the engine's
+  cooperative :class:`~repro.utils.timer.Deadline`; if the engine fails
+  to unwind (stuck in a tight SAT inner loop), the parent kills the
+  worker ``kill_grace`` seconds past the budget and records ``TIMEOUT``.
+* **Deterministic seeding** — engines named by string are built fresh
+  in the worker with :func:`derive_job_seed`, a pure function of
+  (campaign seed, engine, instance).  Results are therefore identical
+  for any ``jobs`` value and any completion order.
+* **Worker-side certification** — the worker certifies its own claim
+  (:func:`~repro.portfolio.runner.evaluate_run`), so certification is
+  parallelised too and the parent only aggregates finished records.
+* **Persistence** — with a :class:`~repro.portfolio.store.CampaignStore`
+  each record streams to disk the moment it completes, and
+  ``resume=True`` skips pairs the store already holds.
+
+:func:`run_campaign` is the orchestrator; ``run_portfolio`` in
+:mod:`repro.portfolio.runner` delegates here.
+"""
+
+import multiprocessing
+import time
+import zlib
+from collections import deque
+
+from repro.core.result import Status
+from repro.portfolio.runner import ResultTable, RunRecord, evaluate_run
+from repro.utils.errors import ReproError
+
+#: Seconds past the per-run budget before the parent kills a worker
+#: that failed to unwind cooperatively.
+DEFAULT_KILL_GRACE = 5.0
+
+_POLL_INTERVAL = 0.05
+#: Seconds to wait for a dead worker's pipe to drain before declaring
+#: the run crashed (the result may still be in the OS pipe buffer).
+_DEATH_GRACE = 1.0
+
+
+# ----------------------------------------------------------------------
+# engine registry
+# ----------------------------------------------------------------------
+def _build_manthan3(seed):
+    from repro.core import Manthan3, Manthan3Config
+    return Manthan3(Manthan3Config(seed=seed))
+
+
+def _build_expansion(seed):
+    from repro.baselines import ExpansionSynthesizer
+    return ExpansionSynthesizer(seed=seed)
+
+
+def _build_pedant(seed):
+    from repro.baselines import PedantLikeSynthesizer
+    return PedantLikeSynthesizer(seed=seed)
+
+
+def _build_skolem(seed):
+    from repro.baselines import SkolemCompositionSynthesizer
+    return SkolemCompositionSynthesizer(seed=seed)
+
+
+def _build_bdd(seed):
+    from repro.baselines import BDDSynthesizer
+    return BDDSynthesizer(seed=seed)
+
+
+#: ``name -> builder(seed)``.  The single registry behind the CLI's
+#: ``--engine``/``--engines`` options and worker-side engine
+#: construction.
+ENGINE_BUILDERS = {
+    "manthan3": _build_manthan3,
+    "expansion": _build_expansion,
+    "pedant": _build_pedant,
+    "skolem": _build_skolem,
+    "bdd": _build_bdd,
+}
+
+
+def engine_names():
+    """Registered engine names, sorted."""
+    return sorted(ENGINE_BUILDERS)
+
+
+def make_engine(name, seed=None):
+    """Build a registered engine by name."""
+    try:
+        builder = ENGINE_BUILDERS[name]
+    except KeyError:
+        raise ReproError("unknown engine %r (choose from %s)"
+                         % (name, ", ".join(engine_names())))
+    return builder(seed)
+
+
+def derive_job_seed(base_seed, engine_name, instance_name):
+    """Deterministic per-job seed.
+
+    A pure function of (campaign seed, engine, instance), so every
+    worker — whatever the pool size or completion order — seeds a given
+    job identically, and a resumed campaign re-derives the same seeds.
+    ``None`` propagates (an unseeded campaign stays unseeded).
+    """
+    if base_seed is None:
+        return None
+    key = ("%d:%s:%s" % (base_seed, engine_name, instance_name)).encode()
+    return zlib.crc32(key) & 0x7FFFFFFF
+
+
+# ----------------------------------------------------------------------
+# jobs
+# ----------------------------------------------------------------------
+class _Job:
+    """One (engine, instance) unit of work.
+
+    ``engine`` is either a live engine object (reused/pickled as-is) or
+    ``None``, in which case the executing side builds the engine from
+    ``engine_name`` and the derived ``seed``.
+    """
+
+    __slots__ = ("index", "engine_name", "engine", "instance", "seed")
+
+    def __init__(self, index, engine_name, engine, instance, seed):
+        self.index = index
+        self.engine_name = engine_name
+        self.engine = engine
+        self.instance = instance
+        self.seed = seed
+
+
+def _execute_job(job, timeout, certify, certificate_budget):
+    engine = job.engine
+    if engine is None:
+        engine = make_engine(job.engine_name, job.seed)
+    result = engine.run(job.instance, timeout=timeout)
+    return evaluate_run(job.engine_name, job.instance, result,
+                        certify=certify,
+                        certificate_budget=certificate_budget)
+
+
+#: Phase marker a worker sends once its engine run is over: the job is
+#: then certifying (bounded by the certificate conflict budget, not the
+#: engine wall clock), so the parent exempts it from the hard kill —
+#: otherwise jobs finishing near the budget would be killed
+#: mid-certification under ``jobs > 1`` but certify fine under
+#: ``jobs=1``, breaking the equal-results-for-any-jobs guarantee.
+_ENGINE_DONE = "engine-done"
+
+
+def _worker_main(job, timeout, certify, certificate_budget, conn):
+    """Pool worker: run one job, send its record up the private pipe."""
+    try:
+        engine = job.engine
+        if engine is None:
+            engine = make_engine(job.engine_name, job.seed)
+        result = engine.run(job.instance, timeout=timeout)
+        conn.send(_ENGINE_DONE)
+        record = evaluate_run(job.engine_name, job.instance, result,
+                              certify=certify,
+                              certificate_budget=certificate_budget)
+    except Exception as exc:  # engine bug: report, don't sink the pool
+        record = RunRecord(job.engine_name, job.instance.name,
+                           Status.UNKNOWN, 0.0,
+                           reason="worker error: %r" % (exc,))
+    try:
+        conn.send(record)
+    except Exception:
+        conn.send(RunRecord(job.engine_name, job.instance.name,
+                            Status.UNKNOWN, 0.0,
+                            reason="worker result not serializable"))
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# schedulers
+# ----------------------------------------------------------------------
+def _run_serial(jobs, timeout, certify, certificate_budget, emit):
+    for job in jobs:
+        emit(job.index,
+             _execute_job(job, timeout, certify, certificate_budget))
+
+
+def _killed_record(job, timeout, kill_grace):
+    return RunRecord(
+        job.engine_name, job.instance.name, Status.TIMEOUT,
+        timeout or 0.0,
+        reason="hung worker killed %.1fs past the %.1fs budget"
+               % (kill_grace, timeout or 0.0),
+        stats={"wall_time": timeout or 0.0, "killed": True})
+
+
+def _crashed_record(job, exitcode):
+    return RunRecord(
+        job.engine_name, job.instance.name, Status.UNKNOWN, 0.0,
+        reason="worker exited with code %r before reporting" % (exitcode,),
+        stats={"crashed": True})
+
+
+def _run_pool(jobs, timeout, certify, certificate_budget, num_workers,
+              kill_grace, emit):
+    """Fan jobs over ``num_workers`` forked processes.
+
+    Each worker reports over its own pipe (no shared queue, so killing
+    a hung worker cannot poison anyone else's channel).  The parent
+    loop launches, drains, and enforces the hard per-run deadline.
+    """
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods()
+        else None)
+    pending = deque(jobs)
+    running = {}  # index -> [process, conn, job, started_at, dead_since]
+
+    def finish(index, record):
+        process, conn, _job, _started, _dead = running.pop(index)
+        conn.close()
+        process.join()
+        emit(index, record)
+
+    try:
+        while pending or running:
+            while pending and len(running) < num_workers:
+                job = pending.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(job, timeout, certify, certificate_budget,
+                          child_conn),
+                    daemon=True)
+                process.start()
+                child_conn.close()  # parent keeps only the read end
+                running[job.index] = [process, parent_conn, job,
+                                      time.monotonic(), None]
+
+            progressed = False
+            now = time.monotonic()
+            for index, entry in list(running.items()):
+                process, conn, job, started, dead_since = entry
+                if conn.poll():
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        message = _crashed_record(job, process.exitcode)
+                    if message == _ENGINE_DONE:
+                        entry[3] = None  # certifying: engine kill off
+                    else:
+                        finish(index, message)
+                    progressed = True
+                elif timeout is not None and started is not None \
+                        and now - started > timeout + kill_grace:
+                    process.terminate()
+                    process.join()
+                    finish(index, _killed_record(job, timeout, kill_grace))
+                    progressed = True
+                elif not process.is_alive():
+                    # Dead with an empty pipe: give the OS buffer a
+                    # moment before declaring the run crashed.
+                    if dead_since is None:
+                        entry[4] = now
+                    elif now - dead_since > _DEATH_GRACE:
+                        finish(index, _crashed_record(job,
+                                                      process.exitcode))
+                        progressed = True
+            if not progressed:
+                time.sleep(_POLL_INTERVAL)
+    finally:
+        for process, conn, _job, _started, _dead in running.values():
+            if process.is_alive():
+                process.terminate()
+            process.join()
+            conn.close()
+
+
+# ----------------------------------------------------------------------
+# orchestrator
+# ----------------------------------------------------------------------
+def run_campaign(instances, engines, timeout=None, certify=True,
+                 certificate_budget=200_000, jobs=1, seed=None,
+                 store=None, resume=False, progress=None,
+                 kill_grace=DEFAULT_KILL_GRACE):
+    """Run the full (engine × instance) campaign; return a ResultTable.
+
+    ``engines`` entries may be engine *names* (strings) — built fresh
+    per job with :func:`derive_job_seed`, which guarantees identical
+    results for every ``jobs`` value — or live engine objects, which
+    are reused in-process when ``jobs == 1`` and pickled to workers
+    otherwise (equivalence then additionally requires the engine to be
+    stateless across runs; every engine in this repo re-seeds per
+    ``run()``).
+
+    ``store`` (a :class:`~repro.portfolio.store.CampaignStore` or a
+    path) persists each record as it completes.  With ``resume=True``,
+    pairs already in the store are loaded instead of re-executed —
+    ``progress`` fires only for executed runs.
+
+    The returned table lists records in deterministic
+    instance-major/engine-minor order regardless of completion order.
+    """
+    from repro.portfolio.store import CampaignStore
+
+    if isinstance(store, str):
+        store = CampaignStore(store)
+
+    instances = list(instances)
+    specs = []
+    for entry in engines:
+        if isinstance(entry, str):
+            if entry not in ENGINE_BUILDERS:
+                raise ReproError("unknown engine %r (choose from %s)"
+                                 % (entry, ", ".join(engine_names())))
+            specs.append((entry, None))
+        else:
+            specs.append((entry.name, entry))
+
+    done = {}
+    if store is not None and resume and store.exists():
+        # Records from a campaign run under different knobs are not
+        # comparable (e.g. old 1s-timeout TIMEOUTs merged into a 60s
+        # campaign would skew every solved count) — refuse loudly.
+        meta = store.read_meta() or {}
+        for key, wanted in (("timeout", timeout), ("seed", seed),
+                            ("certify", certify)):
+            if key in meta and meta[key] != wanted:
+                raise ReproError(
+                    "cannot resume %s: stored %s=%r differs from "
+                    "requested %r" % (store.path, key, meta[key], wanted))
+        for record in store.iter_records():
+            done[(record.engine, record.instance)] = record
+
+    jobs_list = []
+    slots = []  # (engine_name, instance_name) in canonical table order
+    for instance in instances:
+        for engine_name, engine in specs:
+            pair = (engine_name, instance.name)
+            slots.append(pair)
+            if pair in done:
+                continue
+            jobs_list.append(_Job(
+                index=len(jobs_list), engine_name=engine_name,
+                engine=engine, instance=instance,
+                seed=derive_job_seed(seed, engine_name, instance.name)))
+
+    executed = {}
+
+    def emit(index, record):
+        executed[index] = record
+        if store is not None:
+            store.append(record)
+        if progress is not None:
+            progress(record)
+
+    if store is not None:
+        store.open(meta={"timeout": timeout, "seed": seed,
+                         "certify": certify}, resume=resume)
+    try:
+        if jobs_list:
+            if jobs > 1:
+                _run_pool(jobs_list, timeout, certify,
+                          certificate_budget, jobs, kill_grace, emit)
+            else:
+                _run_serial(jobs_list, timeout, certify,
+                            certificate_budget, emit)
+    finally:
+        if store is not None:
+            store.close()
+
+    by_pair = dict(done)
+    for record in executed.values():
+        by_pair[(record.engine, record.instance)] = record
+    table = ResultTable(timeout=timeout)
+    for pair in slots:
+        record = by_pair.get(pair)
+        if record is not None:
+            table.add(record)
+    return table

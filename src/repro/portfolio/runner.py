@@ -3,15 +3,33 @@
 Every ``SYNTHESIZED`` claim is re-validated by the independent
 certificate checker; a vector that fails certification is recorded as
 ``INVALID`` and does *not* count as solved (an engine must never be able
-to cheat the evaluation).
+to cheat the evaluation).  ``FALSE`` claims that come with an
+inextensibility witness are re-checked the same way.
+
+:func:`run_portfolio` is the public entry point.  With ``jobs=1`` it
+runs in-process (the deterministic path unit tests rely on); with
+``jobs > 1`` it delegates to the process pool in
+:mod:`repro.portfolio.parallel`, and with ``store=`` it streams records
+to a resumable on-disk campaign
+(:class:`~repro.portfolio.store.CampaignStore`).
 """
 
 from repro.core.result import Status
-from repro.dqbf.certificates import check_henkin_vector
+from repro.dqbf.certificates import check_false_witness, check_henkin_vector
 
 
 class RunRecord:
-    """One (engine, instance) execution."""
+    """One (engine, instance) execution.
+
+    ``certified`` is tri-state:
+
+    * ``True``  — the claim was independently checked and is valid;
+    * ``False`` — the claim was checked and is *wrong* (the record's
+      ``status`` is rewritten to ``INVALID``);
+    * ``None``  — nothing was checked: certification was disabled, the
+      verdict carries no certificate (``UNKNOWN``/``TIMEOUT``, or a
+      ``FALSE`` proved without a witness), or the worker never reported.
+    """
 
     __slots__ = ("engine", "instance", "status", "time", "reason",
                  "certified", "stats")
@@ -28,8 +46,14 @@ class RunRecord:
 
     @property
     def solved(self):
-        """Solved = synthesized a vector that passed certification."""
-        return self.status == Status.SYNTHESIZED and self.certified is True
+        """Solved = synthesized a vector that was not refuted.
+
+        ``certified is True`` (checked, valid) and ``certified is None``
+        (certification disabled) both count; ``certified is False``
+        never does — such records carry status ``INVALID`` and are
+        excluded by the status check as well.
+        """
+        return self.status == Status.SYNTHESIZED and self.certified is not False
 
     def __repr__(self):
         return "RunRecord(%s, %s, %s, %.3fs)" % (
@@ -37,14 +61,25 @@ class RunRecord:
 
 
 class ResultTable:
-    """All records of one evaluation campaign."""
+    """All records of one evaluation campaign.
+
+    Records are indexed by ``(engine, instance)``, so
+    :meth:`record_for` — the inner loop of every VBS/scatter analysis —
+    is O(1) instead of a scan.  Adding a second record for the same pair
+    replaces the first in the index (last write wins; the records list
+    keeps both in arrival order).
+    """
 
     def __init__(self, records=None, timeout=None):
-        self.records = list(records or [])
+        self.records = []
         self.timeout = timeout
+        self._index = {}
+        for record in records or ():
+            self.add(record)
 
     def add(self, record):
         self.records.append(record)
+        self._index[(record.engine, record.instance)] = record
 
     def engines(self):
         return sorted({r.engine for r in self.records})
@@ -56,10 +91,7 @@ class ResultTable:
         return list(seen)
 
     def record_for(self, engine, instance):
-        for r in self.records:
-            if r.engine == engine and r.instance == instance:
-                return r
-        return None
+        return self._index.get((engine, instance))
 
     def by_engine(self, engine):
         return [r for r in self.records if r.engine == engine]
@@ -75,8 +107,44 @@ class ResultTable:
         return None
 
 
+def evaluate_run(engine_name, instance, result, certify=True,
+                 certificate_budget=200_000):
+    """Turn one engine :class:`SynthesisResult` into a :class:`RunRecord`.
+
+    This is the single certification gate shared by the sequential
+    runner and the pool workers (certification runs *in the worker*, so
+    the campaign parent only aggregates finished records):
+
+    * ``SYNTHESIZED`` vectors are re-checked with
+      :func:`check_henkin_vector`;
+    * ``FALSE`` verdicts carrying an inextensibility witness are
+      re-checked with :func:`check_false_witness`;
+    * a failed check rewrites the status to ``INVALID``.
+    """
+    certified = None
+    if certify and result.status == Status.SYNTHESIZED:
+        cert = check_henkin_vector(instance, result.functions,
+                                   conflict_budget=certificate_budget)
+        certified = bool(cert.valid)
+    elif certify and result.status == Status.FALSE \
+            and result.witness is not None:
+        cert = check_false_witness(instance, result.witness,
+                                   conflict_budget=certificate_budget)
+        certified = bool(cert.valid)
+    return RunRecord(
+        engine=engine_name,
+        instance=instance.name,
+        status=result.status if certified is not False else Status.INVALID,
+        time=result.stats.get("wall_time", 0.0),
+        reason=result.reason,
+        certified=certified,
+        stats=result.stats,
+    )
+
+
 def run_portfolio(instances, engines, timeout=None, certify=True,
-                  certificate_budget=200_000, progress=None):
+                  certificate_budget=200_000, progress=None, jobs=1,
+                  seed=None, store=None, resume=False):
     """Run every engine on every instance.
 
     Parameters
@@ -85,40 +153,37 @@ def run_portfolio(instances, engines, timeout=None, certify=True,
         Iterable of :class:`~repro.dqbf.instance.DQBFInstance`.
     engines:
         Iterable of engine objects exposing ``name`` and
-        ``run(instance, timeout)``.
+        ``run(instance, timeout)``, or engine *names* (strings) resolved
+        through :data:`repro.portfolio.parallel.ENGINE_BUILDERS` — names
+        get a fresh engine per job with a deterministic per-job seed, so
+        results are identical for any ``jobs`` value.
     timeout:
         Per-run wall-clock budget in seconds.
     certify:
-        Re-check every claimed vector with the independent checker.
+        Re-check every claimed vector/witness with the independent
+        checker.
     certificate_budget:
         Conflict budget for certification SAT calls.
     progress:
-        Optional callback ``(record) -> None`` for live reporting.
+        Optional callback ``(record) -> None``, invoked once per
+        *executed* run (resumed records are loaded silently).
+    jobs:
+        Worker processes; ``1`` runs in-process.
+    seed:
+        Campaign seed for per-job seed derivation of name-specified
+        engines.
+    store:
+        Optional :class:`~repro.portfolio.store.CampaignStore` (or path)
+        that every record streams to as it completes.
+    resume:
+        Skip (engine, instance) pairs already present in ``store``.
 
     Returns a :class:`ResultTable`.
     """
-    table = ResultTable(timeout=timeout)
-    for instance in instances:
-        for engine in engines:
-            result = engine.run(instance, timeout=timeout)
-            certified = None
-            if result.status == Status.SYNTHESIZED and certify:
-                cert = check_henkin_vector(
-                    instance, result.functions,
-                    conflict_budget=certificate_budget)
-                certified = bool(cert.valid)
-            elif result.status == Status.SYNTHESIZED:
-                certified = True
-            record = RunRecord(
-                engine=engine.name,
-                instance=instance.name,
-                status=result.status if certified is not False else "INVALID",
-                time=result.stats.get("wall_time", 0.0),
-                reason=result.reason,
-                certified=certified,
-                stats=result.stats,
-            )
-            table.add(record)
-            if progress is not None:
-                progress(record)
-    return table
+    from repro.portfolio.parallel import run_campaign
+
+    return run_campaign(instances, engines, timeout=timeout,
+                        certify=certify,
+                        certificate_budget=certificate_budget,
+                        progress=progress, jobs=jobs, seed=seed,
+                        store=store, resume=resume)

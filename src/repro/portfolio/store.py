@@ -1,0 +1,205 @@
+"""Persistent, resumable campaign storage (JSON Lines).
+
+A campaign file records one evaluation run-by-run as it executes, so an
+interrupted campaign loses at most the runs in flight:
+
+* line 1 — a ``{"type": "campaign", ...}`` meta header (format version,
+  per-run timeout, campaign seed, free-form labels);
+* every other line — one ``{"type": "run", ...}`` object, appended and
+  flushed the moment the run finishes.
+
+The format is append-only and crash-tolerant: a process killed mid-write
+leaves at most one torn trailing line, which readers silently drop.
+Corruption anywhere *else* raises :class:`~repro.utils.errors.ReproError`
+rather than silently losing completed results.
+
+:meth:`CampaignStore.load` round-trips the file back into a
+:class:`~repro.portfolio.runner.ResultTable`, so every downstream
+analysis (``portfolio/report.py``, ``portfolio/vbs.py``) works on stored
+campaigns unchanged.
+"""
+
+import json
+import os
+
+from repro.portfolio.runner import ResultTable, RunRecord
+from repro.utils.errors import ReproError
+
+FORMAT_VERSION = 1
+
+
+def record_to_dict(record):
+    """JSON-safe dict for one :class:`RunRecord` (one store line)."""
+    return {
+        "type": "run",
+        "engine": record.engine,
+        "instance": record.instance,
+        "status": record.status,
+        "time": record.time,
+        "reason": record.reason,
+        "certified": record.certified,
+        "stats": record.stats,
+    }
+
+
+def record_from_dict(data):
+    """Inverse of :func:`record_to_dict`."""
+    return RunRecord(
+        engine=data["engine"],
+        instance=data["instance"],
+        status=data["status"],
+        time=data["time"],
+        reason=data.get("reason", ""),
+        certified=data.get("certified"),
+        stats=data.get("stats") or {},
+    )
+
+
+class CampaignStore:
+    """One campaign JSONL file: streaming writes, tolerant reads.
+
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "campaign.jsonl")
+    >>> store = CampaignStore(path)
+    >>> store.append(RunRecord("e", "i", "SYNTHESIZED", 0.5,
+    ...                        certified=True))
+    >>> store.close()
+    >>> sorted(store.completed_pairs())
+    [('e', 'i')]
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def exists(self):
+        """True when the file exists and is non-empty."""
+        try:
+            return os.path.getsize(self.path) > 0
+        except OSError:
+            return False
+
+    def _iter_lines(self):
+        """Yield parsed JSON objects, dropping a torn trailing line."""
+        with open(self.path) as handle:
+            lines = handle.read().splitlines()
+        last = len(lines) - 1
+        for number, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                yield json.loads(line)
+            except ValueError:
+                if number == last:
+                    return  # torn write from an interrupted campaign
+                raise ReproError(
+                    "corrupt campaign store %s: undecodable line %d"
+                    % (self.path, number + 1))
+
+    def read_meta(self):
+        """The campaign header dict, or ``None`` for a bare/missing file."""
+        if not self.exists():
+            return None
+        for data in self._iter_lines():
+            if data.get("type") == "campaign":
+                return data
+            return None
+        return None
+
+    def iter_records(self):
+        """Yield every stored :class:`RunRecord` in file order."""
+        if not self.exists():
+            return
+        for data in self._iter_lines():
+            if data.get("type") == "run":
+                yield record_from_dict(data)
+
+    def completed_pairs(self):
+        """Set of ``(engine, instance)`` pairs with a stored record."""
+        return {(r.engine, r.instance) for r in self.iter_records()}
+
+    def load(self):
+        """Round-trip the file into a :class:`ResultTable`.
+
+        The table's ``timeout`` comes from the meta header; duplicate
+        (engine, instance) lines keep the *last* occurrence (the index
+        in :class:`ResultTable` already implements last-write-wins).
+        """
+        meta = self.read_meta() or {}
+        return ResultTable(self.iter_records(),
+                           timeout=meta.get("timeout"))
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def open(self, meta=None, resume=False):
+        """Open for writing.
+
+        ``resume=True`` appends to an existing file (keeping its meta
+        header); otherwise the file is truncated and a fresh header —
+        ``meta`` plus format bookkeeping — is written.
+        """
+        if self._handle is not None:
+            return self
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        if resume and self.exists():
+            self._repair_tail()
+            self._handle = open(self.path, "a")
+        else:
+            self._handle = open(self.path, "w")
+            header = {"type": "campaign", "version": FORMAT_VERSION}
+            header.update(meta or {})
+            self._write_line(header)
+        return self
+
+    def _repair_tail(self):
+        """Truncate a torn trailing line before appending.
+
+        Readers tolerate a torn *last* line, but appending after one
+        would bury it mid-file, where it is (rightly) a hard error.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            return
+        lines = data.splitlines(keepends=True)
+        if not lines:
+            return
+        stripped = lines[-1].strip()
+        if not stripped:
+            return
+        try:
+            json.loads(stripped)
+        except ValueError:
+            with open(self.path, "wb") as handle:
+                handle.write(b"".join(lines[:-1]))
+
+    def append(self, record):
+        """Append one record and flush, so a kill loses at most one line."""
+        if self._handle is None:
+            self.open(resume=True)
+        self._write_line(record_to_dict(record))
+
+    def _write_line(self, data):
+        self._handle.write(json.dumps(data, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return "CampaignStore(%r)" % self.path

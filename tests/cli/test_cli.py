@@ -110,3 +110,63 @@ class TestBench:
             text = handle.read()
         assert "solved counts" in text
         assert "virtual best synthesizer" in text
+
+
+class TestRunSuite:
+    ARGS = ["run-suite", "--suite", "smoke", "--limit", "2",
+            "--engines", "expansion,manthan3", "--timeout", "20",
+            "--seed", "0", "--jobs", "2"]
+
+    def test_parallel_campaign_with_store(self, tmp_path, capsys):
+        from repro.portfolio import CampaignStore
+
+        out = str(tmp_path / "campaign.jsonl")
+        report = str(tmp_path / "report.txt")
+        code = main(self.ARGS + ["--out", out, "--report", report])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "4 runs executed, 0 resumed" in err
+
+        table = CampaignStore(out).load()
+        assert len(table.records) == 4
+        assert sorted(table.engines()) == ["expansion", "manthan3"]
+        with open(report) as handle:
+            assert "solved counts" in handle.read()
+
+    def test_resume_executes_nothing(self, tmp_path, capsys):
+        out = str(tmp_path / "campaign.jsonl")
+        assert main(self.ARGS + ["--out", out]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--out", out, "--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "0 runs executed, 4 resumed" in captured.err
+        assert "solved counts" in captured.out
+
+    def test_matches_sequential_run(self, tmp_path, capsys):
+        from repro.portfolio import CampaignStore
+
+        parallel_out = str(tmp_path / "p.jsonl")
+        serial_out = str(tmp_path / "s.jsonl")
+        assert main(self.ARGS + ["--out", parallel_out]) == 0
+        serial_args = list(self.ARGS)
+        serial_args[serial_args.index("--jobs") + 1] = "1"
+        assert main(serial_args + ["--out", serial_out]) == 0
+        capsys.readouterr()
+
+        parallel = CampaignStore(parallel_out).load()
+        serial = CampaignStore(serial_out).load()
+        assert {(r.engine, r.instance, r.status)
+                for r in parallel.records} \
+            == {(r.engine, r.instance, r.status)
+                for r in serial.records}
+        for engine in ("expansion", "manthan3"):
+            assert parallel.solved_instances(engine) \
+                == serial.solved_instances(engine)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run-suite", "--engines", "expansion,magic"])
+
+    def test_empty_engine_selection_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run-suite", "--engines", ","])

@@ -1,0 +1,228 @@
+"""Tests for the persistent JSONL campaign store."""
+
+import json
+
+import pytest
+
+from repro.core.result import Status, SynthesisResult
+from repro.dqbf.instance import DQBFInstance
+from repro.formula import boolfunc as bf
+from repro.formula.cnf import CNF
+from repro.portfolio.runner import RunRecord
+from repro.portfolio.store import (
+    CampaignStore,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.utils.errors import ReproError
+
+
+def make_records():
+    return [
+        RunRecord("manthan3", "a", Status.SYNTHESIZED, 0.25,
+                  certified=True, stats={"samples": 150}),
+        RunRecord("expansion", "a", Status.TIMEOUT, 5.0,
+                  reason="budget exhausted"),
+        RunRecord("manthan3", "b", Status.INVALID, 0.1,
+                  certified=False, reason="bad vector"),
+        RunRecord("expansion", "b", Status.FALSE, 0.05, certified=None),
+    ]
+
+
+class TestRecordDicts:
+    def test_round_trip(self):
+        for record in make_records():
+            clone = record_from_dict(record_to_dict(record))
+            for field in RunRecord.__slots__:
+                assert getattr(clone, field) == getattr(record, field)
+
+    def test_dict_is_json_safe(self):
+        for record in make_records():
+            json.dumps(record_to_dict(record))
+
+
+class TestCampaignStore:
+    def test_round_trip_table(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "c.jsonl"))
+        store.open(meta={"timeout": 5.0, "seed": 3})
+        for record in make_records():
+            store.append(record)
+        store.close()
+
+        table = store.load()
+        assert table.timeout == 5.0
+        assert len(table.records) == 4
+        assert table.solved_instances("manthan3") == {"a"}
+        assert table.record_for("expansion", "a").status == Status.TIMEOUT
+        assert table.record_for("manthan3", "a").stats == {"samples": 150}
+        assert table.record_for("manthan3", "b").certified is False
+
+    def test_meta_header(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "c.jsonl"))
+        store.open(meta={"timeout": 2.0, "seed": 7})
+        store.close()
+        meta = store.read_meta()
+        assert meta["timeout"] == 2.0
+        assert meta["seed"] == 7
+        assert meta["version"] == 1
+
+    def test_completed_pairs(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "c.jsonl"))
+        for record in make_records():
+            store.append(record)
+        store.close()
+        assert store.completed_pairs() == {
+            ("manthan3", "a"), ("expansion", "a"),
+            ("manthan3", "b"), ("expansion", "b")}
+
+    def test_missing_file(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "absent.jsonl"))
+        assert not store.exists()
+        assert store.read_meta() is None
+        assert store.completed_pairs() == set()
+        assert store.load().records == []
+
+    def test_corrupt_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        store = CampaignStore(str(path))
+        for record in make_records():
+            store.append(record)
+        store.close()
+        with open(path, "a") as handle:
+            handle.write('{"type": "run", "engine": "manth')  # torn write
+        assert len(list(store.iter_records())) == 4
+        assert len(store.completed_pairs()) == 4
+
+    def test_append_after_torn_line_repairs_tail(self, tmp_path):
+        """Resuming over a torn file must not bury the torn line
+        mid-file (where it would become a hard read error)."""
+        path = tmp_path / "c.jsonl"
+        store = CampaignStore(str(path))
+        store.append(make_records()[0])
+        store.close()
+        with open(path, "a") as handle:
+            handle.write('{"type": "run", "eng')  # torn write
+        store.open(resume=True)
+        store.append(make_records()[1])
+        store.close()
+        table = store.load()  # must not raise
+        assert len(table.records) == 2
+        assert store.completed_pairs() == {("manthan3", "a"),
+                                           ("expansion", "a")}
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        store = CampaignStore(str(path))
+        store.append(make_records()[0])
+        store.close()
+        text = path.read_text()
+        path.write_text("garbage not json\n" + text)
+        with pytest.raises(ReproError):
+            list(store.iter_records())
+
+    def test_resume_keeps_header(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "c.jsonl"))
+        store.open(meta={"timeout": 9.0})
+        store.append(make_records()[0])
+        store.close()
+        store.open(meta={"timeout": 1.0}, resume=True)
+        store.append(make_records()[1])
+        store.close()
+        assert store.read_meta()["timeout"] == 9.0
+        assert len(list(store.iter_records())) == 2
+
+    def test_open_without_resume_truncates(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "c.jsonl"))
+        store.append(make_records()[0])
+        store.close()
+        store.open(meta={"timeout": 1.0})
+        store.close()
+        assert store.completed_pairs() == set()
+        assert store.read_meta()["timeout"] == 1.0
+
+    def test_duplicate_pair_last_wins(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "c.jsonl"))
+        store.append(RunRecord("e", "i", Status.TIMEOUT, 5.0))
+        store.append(RunRecord("e", "i", Status.SYNTHESIZED, 1.0,
+                               certified=True))
+        store.close()
+        table = store.load()
+        assert table.record_for("e", "i").status == Status.SYNTHESIZED
+
+
+# ----------------------------------------------------------------------
+# campaign-level resume behaviour (store + runner together)
+# ----------------------------------------------------------------------
+def tiny_instance(name):
+    cnf = CNF([[-2, 1], [2, -1]])
+    return DQBFInstance([1], {2: [1]}, cnf, name=name)
+
+
+class CountingEngine:
+    """Always solves; counts how often it actually ran."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.calls = 0
+
+    def run(self, instance, timeout=None):
+        self.calls += 1
+        return SynthesisResult(Status.SYNTHESIZED,
+                               functions={2: bf.var(1)},
+                               stats={"wall_time": 0.01})
+
+
+class TestResume:
+    def test_resume_skips_completed_pairs(self, tmp_path):
+        from repro.portfolio import run_campaign
+
+        store = CampaignStore(str(tmp_path / "c.jsonl"))
+        instances = [tiny_instance("a"), tiny_instance("b"),
+                     tiny_instance("c")]
+        first = CountingEngine()
+        table1 = run_campaign(instances, [first], timeout=5,
+                              store=store)
+        assert first.calls == 3
+
+        second = CountingEngine()
+        table2 = run_campaign(instances, [second], timeout=5,
+                              store=store, resume=True)
+        assert second.calls == 0, "resume must re-execute nothing"
+        assert [(r.engine, r.instance, r.status) for r in table2.records] \
+            == [(r.engine, r.instance, r.status) for r in table1.records]
+        assert table2.solved_instances("counting") == {"a", "b", "c"}
+
+    def test_resume_with_mismatched_params_refuses(self, tmp_path):
+        from repro.portfolio import run_campaign
+
+        store = CampaignStore(str(tmp_path / "c.jsonl"))
+        run_campaign([tiny_instance("a")], [CountingEngine()],
+                     timeout=5, seed=1, store=store)
+        with pytest.raises(ReproError, match="timeout"):
+            run_campaign([tiny_instance("a")], [CountingEngine()],
+                         timeout=60, seed=1, store=store, resume=True)
+        with pytest.raises(ReproError, match="seed"):
+            run_campaign([tiny_instance("a")], [CountingEngine()],
+                         timeout=5, seed=2, store=store, resume=True)
+
+    def test_partial_resume_runs_only_missing(self, tmp_path):
+        from repro.portfolio import run_campaign
+
+        store = CampaignStore(str(tmp_path / "c.jsonl"))
+        run_campaign([tiny_instance("a")], [CountingEngine()],
+                     timeout=5, store=store)
+
+        engine = CountingEngine()
+        executed = []
+        table = run_campaign(
+            [tiny_instance("a"), tiny_instance("b")], [engine],
+            timeout=5, store=store, resume=True,
+            progress=executed.append)
+        assert engine.calls == 1
+        assert [r.instance for r in executed] == ["b"]
+        # canonical order regardless of what was resumed vs executed
+        assert [r.instance for r in table.records] == ["a", "b"]
+        # the store now covers both pairs
+        assert store.completed_pairs() == {("counting", "a"),
+                                           ("counting", "b")}
