@@ -230,8 +230,8 @@ def build_parser():
     synth = sub.add_parser("synth", help="synthesize Henkin functions")
     synth.add_argument("file")
     synth.add_argument("--engine", default="manthan3",
-                       choices=["manthan3", "expansion", "pedant",
-                                "skolem", "bdd"])
+                       choices=["manthan3", "manthan3-fresh", "expansion",
+                                "pedant", "skolem", "bdd"])
     synth.add_argument("--format", default="auto",
                        choices=["auto", "dqdimacs", "qdimacs"])
     synth.add_argument("--output-format", default="infix",

@@ -48,6 +48,14 @@ class Manthan3Config:
         Size guard on the substituted expression.
     sat_conflict_budget:
         Per-oracle-call conflict cap (``None`` = unbounded).
+    incremental:
+        Run the oracle loop on persistent solver sessions
+        (:mod:`repro.core.sessions`): one E-solver whose candidate
+        links live in releasable clause groups, one matrix solver
+        shared by the extension/repair/unate checks, and a persistent
+        sampling solver.  ``False`` falls back to fresh solvers per
+        oracle call (the seed behavior) — kept so the equivalence suite
+        and the engine-loop benchmark can compare the two paths.
     seed:
         RNG seed for sampling/learning tie-breaks.
     """
@@ -69,6 +77,7 @@ class Manthan3Config:
                  self_substitution_threshold=12,
                  self_substitution_max_dag=50_000,
                  sat_conflict_budget=None,
+                 incremental=True,
                  seed=None):
         self.num_samples = num_samples
         self.adaptive_sampling = adaptive_sampling
@@ -86,6 +95,7 @@ class Manthan3Config:
         self.self_substitution_threshold = self_substitution_threshold
         self.self_substitution_max_dag = self_substitution_max_dag
         self.sat_conflict_budget = sat_conflict_budget
+        self.incremental = incremental
         self.seed = seed
 
     def replaced(self, **overrides):

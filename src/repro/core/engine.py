@@ -7,6 +7,7 @@ from repro.core.preprocess import preprocess
 from repro.core.repair import repair_iteration
 from repro.core.result import SynthesisResult, Status
 from repro.core.selfsub import self_substitute
+from repro.core.sessions import MatrixSession, VerifierSession
 from repro.core.verifier import verify_candidates
 from repro.sampling import Sampler
 from repro.utils.errors import ResourceBudgetExceeded
@@ -55,6 +56,11 @@ class Manthan3:
     def _run(self, instance, deadline, stopwatch):
         config = self.config
         rng = make_rng(config.seed)
+        # Drawn unconditionally so the sampler/preprocess/loop streams
+        # below are identical whether or not sessions are built — the
+        # incremental and fresh paths then diverge only where solver
+        # persistence itself makes them diverge.
+        oracle_rng = spawn(rng, 5)
         stats = {"samples": 0, "repair_iterations": 0,
                  "candidates_learned": 0}
 
@@ -78,21 +84,47 @@ class Manthan3:
                     reason="matrix forces universal x%d" % x,
                     witness=witness)
 
+        # Oracle sessions: one persistent solver per oracle for the
+        # whole run (config.incremental=False falls back to fresh
+        # solvers per call).  Built before sampling so every oracle
+        # below — sampler included — is session-backed.
+        matrix_session = None
+        verifier_session = None
+        sessions = []
+        if config.incremental:
+            matrix_session = MatrixSession(instance.matrix,
+                                           rng=spawn(oracle_rng, 1))
+            verifier_session = VerifierSession(instance,
+                                               rng=spawn(oracle_rng, 2))
+            sessions = [("matrix", matrix_session),
+                        ("verifier", verifier_session)]
+
+        def finish(status, **kwargs):
+            if config.incremental:
+                oracle = {name: session.stats()
+                          for name, session in sessions}
+                oracle["sampler"] = sampler.stats()
+                stats["oracle"] = oracle
+            return self._finish(status, stats, stopwatch, **kwargs)
+
         # Data generation (Algorithm 1, line 1).
         weighted = instance.existentials if config.adaptive_sampling else ()
         sampler = Sampler(instance.matrix, rng=spawn(rng, 1),
-                          weighted_vars=weighted)
+                          weighted_vars=weighted,
+                          incremental=config.incremental)
         samples = sampler.draw(config.num_samples, deadline=deadline,
                                conflict_budget=config.sat_conflict_budget)
         stats["samples"] = len(samples)
         if not samples:
             # ϕ itself is unsatisfiable: no X has a Y extension.
-            return self._finish(Status.FALSE, stats, stopwatch,
-                                reason="matrix is unsatisfiable")
+            return finish(Status.FALSE,
+                          reason="matrix is unsatisfiable")
 
-        # Preprocessing (unates + unique definitions).
+        # Preprocessing (unates + unique definitions).  The unate pass
+        # runs on the matrix session, which retires its dual-rail
+        # clauses before the loop starts.
         pre = preprocess(instance, config, deadline=deadline,
-                         rng=spawn(rng, 2))
+                         rng=spawn(rng, 2), matrix_session=matrix_session)
         stats.update({"fixed_" + k: v for k, v in pre.stats.items()})
 
         # Candidate learning (lines 2–7).
@@ -113,16 +145,16 @@ class Manthan3:
             outcome = verify_candidates(
                 instance, candidates, rng=spawn(rng, 100 + iteration),
                 deadline=deadline,
-                conflict_budget=config.sat_conflict_budget)
+                conflict_budget=config.sat_conflict_budget,
+                session=verifier_session, matrix_session=matrix_session)
             if outcome.verdict == "VALID":
                 final = substitute_candidates(instance, candidates, order)
                 stats["repair_iterations"] = iteration
-                return self._finish(Status.SYNTHESIZED, stats, stopwatch,
-                                    functions=final)
+                return finish(Status.SYNTHESIZED, functions=final)
             if outcome.verdict == "FALSE":
                 stats["repair_iterations"] = iteration
-                return self._finish(
-                    Status.FALSE, stats, stopwatch,
+                return finish(
+                    Status.FALSE,
                     reason="X assignment admits no Y extension",
                     witness=outcome.sigma_x)
             if iteration == config.max_repair_iterations:
@@ -131,7 +163,8 @@ class Manthan3:
                 instance, candidates, tracker, order, outcome.sigma_x,
                 config, fixed=non_repairable,
                 rng=spawn(rng, 200 + iteration),
-                deadline=deadline, repair_counts=repair_counts)
+                deadline=deadline, repair_counts=repair_counts,
+                matrix_session=matrix_session)
             # Manthan2-style fallback: a candidate repaired too often is
             # replaced by its self-substitution and retired from repair.
             if config.use_self_substitution:
@@ -151,14 +184,14 @@ class Manthan3:
                 stagnation += 1
                 if stagnation >= config.stagnation_limit:
                     stats["repair_iterations"] = iteration + 1
-                    return self._finish(
-                        Status.UNKNOWN, stats, stopwatch,
+                    return finish(
+                        Status.UNKNOWN,
                         reason="repair stagnated (incompleteness, paper §5)")
             else:
                 stagnation = 0
         stats["repair_iterations"] = config.max_repair_iterations
-        return self._finish(Status.UNKNOWN, stats, stopwatch,
-                            reason="repair iteration budget exhausted")
+        return finish(Status.UNKNOWN,
+                      reason="repair iteration budget exhausted")
 
     def _finish(self, status, stats, stopwatch, functions=None, reason="",
                 witness=None):

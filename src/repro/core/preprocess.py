@@ -35,24 +35,40 @@ class PreprocessOutcome:
         self.stats = stats
 
 
-def detect_unates(instance, deadline=None, conflict_budget=None, rng=None):
+def detect_unates(instance, deadline=None, conflict_budget=None, rng=None,
+                  matrix_session=None):
     """Find unate existentials; returns ``{y: TRUE|FALSE}``.
 
     ``yi`` is positive unate iff ``ϕ|_{yi=0} ∧ ¬ϕ|_{yi=1}`` is UNSAT —
     then ``fi = 1``; negative unate dually with ``fi = 0``.  Fixed values
     are committed to a working copy of the matrix so subsequent checks
     see them (order-dependent, as in Manthan).
+
+    With ``matrix_session`` each check is an assumption query against
+    the session's persistent ϕ-solver (its lazily-built dual rail
+    stands in for the cofactor construction), and fixed values are
+    committed as permanent units — the session-side equivalent of the
+    working copy.
     """
-    working = instance.matrix.copy()
+    working = None if matrix_session is not None else instance.matrix.copy()
     fixed = {}
     for y in instance.existentials:
         if deadline is not None and deadline.expired():
             break
         for value, constant in ((True, bf.TRUE), (False, bf.FALSE)):
-            if _is_unate(working, y, value, deadline=deadline,
-                         conflict_budget=conflict_budget, rng=rng):
+            if matrix_session is not None:
+                unate = matrix_session.unate_check(
+                    y, value, deadline=deadline,
+                    conflict_budget=conflict_budget)
+            else:
+                unate = _is_unate(working, y, value, deadline=deadline,
+                                  conflict_budget=conflict_budget, rng=rng)
+            if unate:
                 fixed[y] = constant
-                working.add_unit(y if value else -y)
+                if matrix_session is not None:
+                    matrix_session.add_unit(y if value else -y)
+                else:
+                    working.add_unit(y if value else -y)
                 break
     return fixed
 
@@ -152,17 +168,26 @@ def extract_unique_functions(instance, skip=(), max_table_bits=8,
     return fixed, stats
 
 
-def preprocess(instance, config, deadline=None, rng=None):
+def preprocess(instance, config, deadline=None, rng=None,
+               matrix_session=None):
     """Run the configured preprocessing passes; returns
-    :class:`PreprocessOutcome`."""
+    :class:`PreprocessOutcome`.
+
+    ``matrix_session`` routes the unate checks through the engine's
+    persistent ϕ-solver; its dual-rail apparatus is retired here, the
+    moment the unate pass ends, so the verify–repair loop never carries
+    those clauses.
+    """
     fixed = {}
     stats = {"unates": 0, "gates": 0, "padoa": 0}
     if config.use_unate_detection:
         unates = detect_unates(instance, deadline=deadline,
                                conflict_budget=config.sat_conflict_budget,
-                               rng=rng)
+                               rng=rng, matrix_session=matrix_session)
         fixed.update(unates)
         stats["unates"] = len(unates)
+    if matrix_session is not None:
+        matrix_session.retire_dual()
     if config.use_unique_extraction:
         unique, unique_stats = extract_unique_functions(
             instance, skip=fixed,

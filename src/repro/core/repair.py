@@ -20,7 +20,9 @@ updated via line 18 (``σ[yk] ← σ[y′k]``); we instead *re-evaluate* the
 candidate vector's outputs on σ[X] after every successful repair, which
 keeps the Ŷ constraints of subsequent ``Gk`` formulas consistent with the
 already-repaired functions (the stale-slot variant can chase its own
-tail).  The worked example of §5 behaves identically under both.
+tail).  The worked example of §5 behaves identically under both.  The
+re-evaluation is *partial* (:func:`refresh_vector`): only ``yk`` and the
+variables ordered before it can be affected by the repair.
 """
 
 from collections import deque
@@ -35,6 +37,26 @@ def evaluate_vector(candidates, order, x_assignment):
     """Candidate outputs on one X assignment, honoring composition order."""
     env = dict(x_assignment)
     for y in reversed(order):
+        env[y] = candidates[y].evaluate(env)
+    return {y: env[y] for y in order}
+
+
+def refresh_vector(candidates, order, outputs, x_assignment, yk):
+    """Candidate outputs after only ``candidates[yk]`` changed.
+
+    Evaluation runs over ``reversed(order)``, so a variable can only
+    read the outputs of variables *later* in ``order`` — a repair of
+    ``yk`` can change nothing at positions after it.  Re-evaluating
+    ``yk`` and the positions before it (against the existing outputs
+    for the rest) therefore yields exactly :func:`evaluate_vector` of
+    the full vector, at a fraction of the cost: the old code paid the
+    full composition order after *every* single repair, O(n²) per
+    counterexample.
+    """
+    env = dict(x_assignment)
+    env.update(outputs)
+    for i in range(order.index(yk), -1, -1):
+        y = order[i]
         env[y] = candidates[y].evaluate(env)
     return {y: env[y] for y in order}
 
@@ -56,14 +78,17 @@ def find_repair_candidates(instance, sigma_x, outputs, repairable, config,
 
 
 def repair_iteration(instance, candidates, tracker, order, sigma_x, config,
-                     fixed=(), rng=None, deadline=None, repair_counts=None):
+                     fixed=(), rng=None, deadline=None, repair_counts=None,
+                     matrix_session=None):
     """Process one counterexample; mutates ``candidates``.
 
     Returns the number of candidate functions modified (0 signals the
     incompleteness condition of §5 when it persists).  When
     ``repair_counts`` (a dict) is supplied, per-candidate modification
     counts are accumulated into it — the engine uses them to trigger the
-    self-substitution fallback.
+    self-substitution fallback.  With ``matrix_session`` the ``Gk``
+    checks are assumption queries against the engine's persistent
+    ϕ-solver instead of a throwaway per-iteration solver.
     """
     fixed = set(fixed)
     index_of = {y: i for i, y in enumerate(order)}
@@ -79,7 +104,8 @@ def repair_iteration(instance, candidates, tracker, order, sigma_x, config,
     processed = set()
     modified = 0
 
-    solver = Solver(instance.matrix, rng=rng)
+    solver = None if matrix_session is not None \
+        else Solver(instance.matrix, rng=rng)
     while queue:
         if deadline is not None:
             deadline.check()
@@ -100,10 +126,17 @@ def repair_iteration(instance, candidates, tracker, order, sigma_x, config,
         yk_lit = yk if outputs[yk] else -yk
         assumptions.append(yk_lit)
 
-        status = solver.solve(assumptions=assumptions, deadline=deadline,
-                              conflict_budget=config.sat_conflict_budget)
+        if matrix_session is not None:
+            status = matrix_session.solve(
+                assumptions, purpose="repair", deadline=deadline,
+                conflict_budget=config.sat_conflict_budget)
+            oracle = matrix_session
+        else:
+            status = solver.solve(assumptions=assumptions, deadline=deadline,
+                                  conflict_budget=config.sat_conflict_budget)
+            oracle = solver
         if status == UNSAT:
-            core = set(solver.core)
+            core = set(oracle.core)
             core.discard(yk_lit)
             if not core:
                 # Empty β: this candidate cannot be repaired from this
@@ -120,9 +153,9 @@ def repair_iteration(instance, candidates, tracker, order, sigma_x, config,
             modified += 1
             if repair_counts is not None:
                 repair_counts[yk] = repair_counts.get(yk, 0) + 1
-            outputs = evaluate_vector(candidates, order, sigma_x)
+            outputs = refresh_vector(candidates, order, outputs, sigma_x, yk)
         elif status == SAT:
-            rho = solver.model
+            rho = oracle.model
             for yt in instance.existentials:
                 if yt in y_hat or yt == yk:
                     continue

@@ -1,0 +1,210 @@
+"""Incremental oracle sessions: the persistent solvers behind the loop.
+
+The verify–repair loop is oracle-bound, and every oracle in the fresh
+path pays full price: a new Tseitin encoding and a new CDCL solver per
+call, discarding learnt clauses, VSIDS activity, and phase state each
+time.  This module keeps **two long-lived solver sessions** per engine
+run instead (MiniSat-style incremental solving under assumptions):
+
+* :class:`VerifierSession` — one persistent solver for the error
+  formula ``E(X, Y') = ¬ϕ ∧ ⋀(y ↔ f_y)``.  ``¬ϕ`` is encoded once,
+  permanently; each ``y ↔ f_y`` link lives in its own solver clause
+  group.  When repair replaces ``f_y``, only that group is released and
+  the new candidate's *new* subtree is encoded — the shared encoder's
+  structural memo reuses every Tseitin variable of the untouched parts.
+* :class:`MatrixSession` — one persistent solver over ``ϕ`` shared by
+  every assumption-driven matrix oracle: the verification extension
+  check, ``repair_iteration``'s per-candidate ``Gk`` checks, and
+  preprocessing's unate checks.  Unate checks need ``¬ϕ`` of a second
+  variable copy; that *dual rail* (primed copy + per-variable equality
+  selectors) is built lazily inside one clause group and released the
+  moment preprocessing ends, so the loop's extension/``Gk`` calls never
+  pay for it.
+
+Both sessions expose ``stats()`` so the engine can report per-oracle
+call/conflict/encode-reuse counters.  The fresh-solver path
+(``Manthan3Config.incremental=False``) bypasses this module entirely,
+which is what the equivalence suite tests against.
+"""
+
+from repro.formula.tseitin import SolverSink, TseitinEncoder, \
+    negated_cnf_expr
+from repro.sat.solver import Solver, UNSAT
+
+__all__ = ["VerifierSession", "MatrixSession"]
+
+
+class VerifierSession:
+    """Persistent E-solver across verification rounds.
+
+    Parameters
+    ----------
+    instance:
+        The :class:`~repro.dqbf.instance.DQBFInstance` under synthesis.
+    rng:
+        Seed or RNG for the solver's randomized heuristics (fixed for
+        the session's lifetime).
+    """
+
+    def __init__(self, instance, rng=None):
+        self.instance = instance
+        self.solver = Solver(rng=rng)
+        self.solver.ensure_vars(instance.matrix.num_vars)
+        self._sink = SolverSink(self.solver)
+        self.encoder = TseitinEncoder(self._sink)
+        # ¬ϕ never changes: encode it once, permanently.
+        self.encoder.assert_expr(negated_cnf_expr(instance.matrix))
+        self._groups = {}      # y -> live solver clause group
+        self._current = {}     # y -> candidate expr currently linked
+        self.calls = 0
+        self.groups_released = 0
+
+    def sync(self, candidates):
+        """Re-assert ``y ↔ f_y`` for every candidate that changed.
+
+        Candidate expressions are hash-consed, so identity comparison
+        detects change exactly; an unchanged candidate keeps its group
+        and costs nothing.
+        """
+        for y in self.instance.existentials:
+            expr = candidates[y]
+            if self._current.get(y) is expr:
+                continue
+            old = self._groups.get(y)
+            if old is not None:
+                self.solver.release_group(old)
+                self.groups_released += 1
+            literal = self.encoder.encode(expr)
+            group = self.solver.new_group()
+            self.solver.add_clause((-y, literal), group=group)
+            self.solver.add_clause((y, -literal), group=group)
+            self._groups[y] = group
+            self._current[y] = expr
+
+    def solve(self, candidates, deadline=None, conflict_budget=None):
+        """One verification oracle call against the current candidates."""
+        self.sync(candidates)
+        self.calls += 1
+        return self.solver.solve(deadline=deadline,
+                                 conflict_budget=conflict_budget)
+
+    @property
+    def model(self):
+        return self.solver.model
+
+    def stats(self):
+        return {
+            "calls": self.calls,
+            "conflicts": self.solver.conflicts,
+            "groups_released": self.groups_released,
+            "encode_hits": self.encoder.hits,
+            "encode_misses": self.encoder.misses,
+        }
+
+
+class MatrixSession:
+    """One persistent solver over ``ϕ`` for every matrix-side oracle.
+
+    The extension check and the ``Gk`` repair checks are pure
+    assumption queries against ``ϕ`` and share the solver as-is.  Unate
+    checks additionally need ``¬ϕ`` over a primed variable copy; see
+    :meth:`unate_check`.
+
+    Unate constants found during preprocessing are committed with
+    :meth:`add_unit` — sound for every later query because a unate
+    output's constant, by definition, preserves (ex)tensibility of
+    every X assignment, and because the committed value is exactly the
+    retired candidate the rest of the loop carries for that variable.
+    """
+
+    def __init__(self, matrix, rng=None):
+        self.matrix = matrix
+        self.solver = Solver(matrix, rng=rng)
+        self.calls = {}
+        self._dual_group = None
+        self._prime = None     # var -> primed copy var
+        self._eq = None        # var -> equality selector var
+        self._neg_out = None   # literal ⇔ ¬ϕ(primed vars)
+
+    def solve(self, assumptions, purpose="matrix", deadline=None,
+              conflict_budget=None):
+        """Assumption query against ``ϕ``; ``purpose`` tags the stats."""
+        self.calls[purpose] = self.calls.get(purpose, 0) + 1
+        return self.solver.solve(assumptions=assumptions, deadline=deadline,
+                                 conflict_budget=conflict_budget)
+
+    @property
+    def model(self):
+        return self.solver.model
+
+    @property
+    def core(self):
+        return self.solver.core
+
+    def add_unit(self, literal):
+        """Permanently commit a unit (unate constants)."""
+        self.solver.add_clause((literal,))
+
+    # ------------------------------------------------------------------
+    # dual rail (unate checks)
+    # ------------------------------------------------------------------
+    def _ensure_dual(self):
+        """Build the primed copy apparatus, once, inside one group.
+
+        For every matrix variable ``v`` allocate a primed twin ``v'``
+        and an equality selector ``e_v`` with ``e_v → (v ↔ v')``, then
+        Tseitin-encode ``¬ϕ`` over the primed variables to a literal
+        ``neg_out``.  A unate check is then a single assumption query —
+        no formula construction per check.
+        """
+        if self._prime is not None:
+            return
+        solver = self.solver
+        group = solver.new_group()
+        num_vars = self.matrix.num_vars
+        self._prime = {v: solver.reserve_var()
+                       for v in range(1, num_vars + 1)}
+        self._eq = {v: solver.reserve_var()
+                    for v in range(1, num_vars + 1)}
+        for v in range(1, num_vars + 1):
+            vp, ev = self._prime[v], self._eq[v]
+            solver.add_clause((-ev, -v, vp), group=group)
+            solver.add_clause((-ev, v, -vp), group=group)
+        primed = self.matrix.relabeled(self._prime)
+        sink = SolverSink(solver, group=group)
+        encoder = TseitinEncoder(sink)
+        self._neg_out = encoder.encode(negated_cnf_expr(primed))
+        self._dual_group = group
+
+    def unate_check(self, y, positive, deadline=None, conflict_budget=None):
+        """Is ``ϕw|_{y=¬v} ∧ ¬(ϕw|_{y=v})`` UNSAT?  (``v = positive``.)
+
+        ``ϕw`` is ``ϕ`` plus the units committed so far — the primed
+        side sees them through the assumed equality selectors, so the
+        check matches the fresh path's working-matrix semantics.
+        Returns ``True`` only on a definitive UNSAT (an exhausted
+        budget is *not* unate, as in the fresh path).
+        """
+        self._ensure_dual()
+        assumptions = [self._neg_out]
+        assumptions += [self._eq[v] for v in range(1, self.matrix.num_vars + 1)
+                        if v != y]
+        if positive:
+            assumptions += [-y, self._prime[y]]
+        else:
+            assumptions += [y, -self._prime[y]]
+        status = self.solve(assumptions, purpose="unate", deadline=deadline,
+                            conflict_budget=conflict_budget)
+        return status == UNSAT
+
+    def retire_dual(self):
+        """Release the unate apparatus once preprocessing is over, so
+        the loop's extension/``Gk`` queries never carry its clauses."""
+        if self._dual_group is not None:
+            self.solver.release_group(self._dual_group)
+            self._dual_group = None
+
+    def stats(self):
+        out = {"calls_%s" % k: v for k, v in sorted(self.calls.items())}
+        out["conflicts"] = self.solver.conflicts
+        return out

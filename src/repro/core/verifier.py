@@ -5,12 +5,26 @@ certificate check — candidate functions may still reference other Y
 variables (composition is resolved at substitution time, line 19).  The
 matrix's own Y variables serve as Y′: each is tied to its candidate's
 Tseitin output, so a model δ of E directly yields δ[X] and δ[Y′].
+
+Two execution paths share this module:
+
+* **Incremental** (the default): ``session`` is a long-lived
+  :class:`~repro.core.sessions.VerifierSession` that re-encodes only
+  repaired candidates, and ``matrix_session`` answers the extension
+  check by assumptions against its persistent ϕ-solver.
+* **Fresh fallback** (``Manthan3Config.incremental=False``): each round
+  Tseitin-encodes the whole vector and builds throwaway solvers, as the
+  seed implementation did.  The two SAT calls get *independent* RNG
+  streams spawned from ``rng`` — sharing one stream would make the
+  extension check's randomness depend on how many branches the E-check
+  happened to take.
 """
 
 from repro.formula.cnf import CNF
 from repro.formula.tseitin import TseitinEncoder, negated_cnf_expr
 from repro.sat.solver import Solver, SAT, UNSAT
 from repro.utils.errors import ResourceBudgetExceeded
+from repro.utils.rng import make_rng, spawn
 
 
 class VerificationOutcome:
@@ -44,33 +58,55 @@ def build_verification_cnf(instance, candidates):
 
 
 def verify_candidates(instance, candidates, rng=None, deadline=None,
-                      conflict_budget=None):
+                      conflict_budget=None, session=None,
+                      matrix_session=None):
     """Run the two SAT checks of the verification phase.
 
-    Raises :class:`ResourceBudgetExceeded` when an oracle call exhausts
-    its budget (the engine maps this to TIMEOUT).
+    With ``session``/``matrix_session`` the oracles are incremental
+    queries against persistent solvers; without them fresh solvers are
+    built (the fallback path).  Raises :class:`ResourceBudgetExceeded`
+    when an oracle call exhausts its budget (the engine maps this to
+    TIMEOUT).
     """
-    e_cnf = build_verification_cnf(instance, candidates)
-    solver = Solver(e_cnf, rng=rng)
-    status = solver.solve(deadline=deadline, conflict_budget=conflict_budget)
+    ext_rng = None
+    if session is not None:
+        status = session.solve(candidates, deadline=deadline,
+                               conflict_budget=conflict_budget)
+        delta = session.model
+    else:
+        rng = make_rng(rng)
+        e_rng, ext_rng = spawn(rng, 1), spawn(rng, 2)
+        e_cnf = build_verification_cnf(instance, candidates)
+        solver = Solver(e_cnf, rng=e_rng)
+        status = solver.solve(deadline=deadline,
+                              conflict_budget=conflict_budget)
+        delta = solver.model
     if status == UNSAT:
         return VerificationOutcome("VALID")
     if status != SAT:
         raise ResourceBudgetExceeded("verification SAT call budget")
-    delta = solver.model
     sigma_x = {x: delta[x] for x in instance.universals}
     sigma_yp = {y: delta[y] for y in instance.existentials}
 
     # Does ϕ(X, Y) ∧ (X ↔ δ[X]) have a model?  (Algorithm 1, line 13)
-    ext_solver = Solver(instance.matrix, rng=rng)
     assumptions = [x if sigma_x[x] else -x for x in instance.universals]
-    ext_status = ext_solver.solve(assumptions=assumptions, deadline=deadline,
-                                  conflict_budget=conflict_budget)
+    if matrix_session is not None:
+        ext_status = matrix_session.solve(
+            assumptions, purpose="extension", deadline=deadline,
+            conflict_budget=conflict_budget)
+        pi = matrix_session.model
+    else:
+        if ext_rng is None:  # session E-check with fresh extension check
+            ext_rng = spawn(make_rng(rng), 2)
+        ext_solver = Solver(instance.matrix, rng=ext_rng)
+        ext_status = ext_solver.solve(assumptions=assumptions,
+                                      deadline=deadline,
+                                      conflict_budget=conflict_budget)
+        pi = ext_solver.model
     if ext_status == UNSAT:
         return VerificationOutcome("FALSE", sigma_x=sigma_x)
     if ext_status != SAT:
         raise ResourceBudgetExceeded("extension SAT call budget")
-    pi = ext_solver.model
     sigma_y = {y: pi[y] for y in instance.existentials}
     return VerificationOutcome("COUNTEREXAMPLE", sigma_x=sigma_x,
                                sigma_y=sigma_y, sigma_yp=sigma_yp)

@@ -5,6 +5,18 @@ The encoder appends *defining clauses* for each DAG node to a target
 equivalent to the expression.  Shared DAG nodes are encoded once per
 encoder instance, so composed candidates with heavy sharing stay compact.
 
+Because :mod:`repro.formula.boolfunc` hash-conses every node, the
+id-keyed definition cache *is* structural hashing: an encoder kept alive
+across a synthesis loop re-encodes only the nodes it has never seen.  A
+repaired candidate ``f ∧ ¬β`` therefore costs exactly the defining
+clauses of the new ``β`` subtree — every Tseitin variable of ``f`` is
+reused.  The :attr:`~TseitinEncoder.hits`/:attr:`~TseitinEncoder.misses`
+counters expose that reuse to the engine's oracle stats.
+
+The target can be a plain CNF or, via :class:`SolverSink`, a live
+:class:`~repro.sat.solver.Solver` — the incremental oracle sessions
+encode straight into their persistent solvers.
+
 Used by the verification step (`E(X,Y') = ¬ϕ(X,Y') ∧ (Y' ↔ f)`) and by the
 certificate checker.
 """
@@ -13,19 +25,46 @@ from repro.formula import boolfunc as bf
 from repro.utils.errors import ReproError
 
 
+class SolverSink:
+    """CNF-shaped facade over a live :class:`~repro.sat.solver.Solver`.
+
+    Exposes the three methods :class:`TseitinEncoder` needs —
+    ``fresh_var``/``add_clause``/``add_unit`` — so definition clauses
+    land directly in a persistent solver.  ``group`` (a solver clause
+    group id, or ``None`` for permanent clauses) routes everything
+    added through the sink.
+    """
+
+    def __init__(self, solver, group=None):
+        self.solver = solver
+        self.group = group
+
+    def fresh_var(self):
+        return self.solver.reserve_var()
+
+    def add_clause(self, lits):
+        self.solver.add_clause(lits, group=self.group)
+
+    def add_unit(self, lit):
+        self.add_clause((lit,))
+
+
 class TseitinEncoder:
     """Incrementally Tseitin-encode expressions into one CNF.
 
     Parameters
     ----------
     cnf:
-        Target CNF; fresh definition variables are allocated from it.
+        Target CNF (or :class:`SolverSink`); fresh definition variables
+        are allocated from it.
     """
 
     def __init__(self, cnf):
         self.cnf = cnf
         self._cache = {}
         self._true_lit = None
+        self.hits = 0       # nodes found already defined by this encoder
+        self.misses = 0     # nodes that needed fresh defining clauses
 
     def true_literal(self):
         """A literal constrained to be true (allocated lazily)."""
@@ -46,17 +85,22 @@ class TseitinEncoder:
             node, expanded = stack.pop()
             key = id(node)
             if key in self._cache:
+                if not expanded:
+                    self.hits += 1
                 continue
             if node.op == bf.OP_CONST:
+                self.misses += 1
                 t = self.true_literal()
                 self._cache[key] = t if node.payload else -t
             elif node.op == bf.OP_VAR:
+                self.misses += 1
                 self._cache[key] = node.payload
             elif not expanded:
                 stack.append((node, True))
                 for child in node.children:
                     stack.append((child, False))
             else:
+                self.misses += 1
                 lits = [self._cache[id(c)] for c in node.children]
                 self._cache[key] = self._define(node.op, lits)
         return self._cache[id(expr)]

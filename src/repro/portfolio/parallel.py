@@ -53,6 +53,15 @@ def _build_manthan3(seed):
     return Manthan3(Manthan3Config(seed=seed))
 
 
+def _build_manthan3_fresh(seed):
+    """Manthan3 on the fresh-solver fallback path — the equivalence
+    baseline for the incremental oracle sessions."""
+    from repro.core import Manthan3, Manthan3Config
+    engine = Manthan3(Manthan3Config(seed=seed, incremental=False))
+    engine.name = "manthan3-fresh"
+    return engine
+
+
 def _build_expansion(seed):
     from repro.baselines import ExpansionSynthesizer
     return ExpansionSynthesizer(seed=seed)
@@ -78,6 +87,7 @@ def _build_bdd(seed):
 #: construction.
 ENGINE_BUILDERS = {
     "manthan3": _build_manthan3,
+    "manthan3-fresh": _build_manthan3_fresh,
     "expansion": _build_expansion,
     "pedant": _build_pedant,
     "skolem": _build_skolem,

@@ -23,21 +23,31 @@ class Sampler:
     bias_floor / bias_ceiling:
         Clamp for adapted weights; Manthan uses 0.1/0.9 so no variable is
         ever sampled one-sidedly.
+    incremental:
+        Keep **one** solver across draws (the default): learnt clauses
+        and branching activity persist, and each draw only re-seeds the
+        solver's RNG and refreshes the polarity weights — diversity
+        comes from the randomized polarity/branching, not from
+        rebuilding.  ``False`` restores the fresh-solver-per-draw
+        fallback.
     """
 
     def __init__(self, cnf, rng=None, weighted_vars=(), pilot=10,
-                 bias_floor=0.1, bias_ceiling=0.9):
+                 bias_floor=0.1, bias_ceiling=0.9, incremental=True):
         self.cnf = cnf
         self.rng = make_rng(rng)
         self.weighted_vars = list(weighted_vars)
         self.pilot = pilot
         self.bias_floor = bias_floor
         self.bias_ceiling = bias_ceiling
+        self.incremental = incremental
         self._weights = {}
         self._true_counts = {v: 0 for v in self.weighted_vars}
         self._drawn = 0
+        self._solver = None
+        self.calls = 0
 
-    def _solver(self, salt):
+    def _build_solver(self, salt):
         return Solver(
             self.cnf,
             rng=spawn(self.rng, salt),
@@ -45,6 +55,18 @@ class Sampler:
             random_var_freq=0.2,
             polarity_weights=dict(self._weights),
         )
+
+    def _solver_for(self, salt):
+        """The draw's solver: persistent (rerandomized) or fresh."""
+        if not self.incremental:
+            return self._build_solver(salt)
+        if self._solver is None:
+            self._solver = self._build_solver(salt)
+        else:
+            self._solver.rng = spawn(self.rng, salt)
+            self._solver.polarity_weights.clear()
+            self._solver.polarity_weights.update(self._weights)
+        return self._solver
 
     def _update_weights(self, model):
         self._drawn += 1
@@ -68,7 +90,8 @@ class Sampler:
         for i in range(count):
             if deadline is not None:
                 deadline.check()
-            solver = self._solver(i)
+            solver = self._solver_for(i)
+            self.calls += 1
             status = solver.solve(conflict_budget=conflict_budget,
                                   deadline=deadline)
             if status == UNSAT:
@@ -79,10 +102,18 @@ class Sampler:
             self._update_weights(solver.model)
         return samples
 
+    def stats(self):
+        """Oracle counters (calls; conflicts of the persistent solver)."""
+        out = {"calls": self.calls}
+        if self._solver is not None:
+            out["conflicts"] = self._solver.conflicts
+        return out
+
 
 def sample_models(cnf, count, rng=None, weighted_vars=(), deadline=None,
-                  conflict_budget=None):
+                  conflict_budget=None, incremental=True):
     """One-shot convenience wrapper around :class:`Sampler`."""
-    sampler = Sampler(cnf, rng=rng, weighted_vars=weighted_vars)
+    sampler = Sampler(cnf, rng=rng, weighted_vars=weighted_vars,
+                      incremental=incremental)
     return sampler.draw(count, deadline=deadline,
                         conflict_budget=conflict_budget)

@@ -16,8 +16,19 @@ Design notes
 * Budgets: ``conflict_budget`` and a wall-clock ``deadline`` make
   :meth:`Solver.solve` return :data:`UNKNOWN` instead of diverging, which
   the engines surface as a timeout.
+* **Clause groups** make the solver incrementally retractable: a clause
+  added with ``group=g`` carries the negation of the group's *selector*
+  literal, so it constrains the search only while the selector is assumed
+  — which :meth:`Solver.solve` does automatically for every live group.
+  :meth:`release_group` asserts the unit that permanently satisfies (and
+  physically detaches) a group's clauses, while every learnt clause and
+  all heuristic state survive across calls; that is what lets the
+  synthesis loop keep one solver per oracle instead of rebuilding.
+  Selector literals never escape: models and cores are masked before
+  they reach callers.
 """
 
+from repro.utils.errors import ReproError
 from repro.utils.rng import make_rng
 
 SAT = "SAT"
@@ -31,12 +42,13 @@ _RESCALE_FACTOR = 1e-100
 class _Clause:
     """A clause in the solver database (problem or learnt)."""
 
-    __slots__ = ("lits", "learnt", "activity")
+    __slots__ = ("lits", "learnt", "activity", "deleted")
 
     def __init__(self, lits, learnt=False):
         self.lits = lits
         self.learnt = learnt
         self.activity = 0.0
+        self.deleted = False
 
 
 def _luby(y, x):
@@ -110,6 +122,13 @@ class Solver:
         self.model = None              # dict var -> bool after SAT
         self.core = None               # list of assumption lits after UNSAT
 
+        self._group_selector = {}      # group id -> selector var
+        self._selector_group = {}      # selector var -> group id
+        self._group_clauses = {}       # group id -> [_Clause, ...]
+        self._released = set()
+        self._next_group = 0
+        self._dead_clauses = 0         # released clauses awaiting compaction
+
         if cnf is not None:
             self.add_cnf(cnf)
 
@@ -132,18 +151,110 @@ class Solver:
             self._in_heap.append(True)
             heapq.heappush(self._heap, (0.0, self.num_vars))
 
-    def add_cnf(self, cnf):
+    def reserve_var(self):
+        """Allocate and return one fresh variable id.
+
+        The incremental Tseitin sink uses this to grow the solver's
+        variable space in lock-step with its encoding.
+        """
+        self.ensure_vars(self.num_vars + 1)
+        return self.num_vars
+
+    def add_cnf(self, cnf, group=None):
         """Load all clauses of a :class:`~repro.formula.cnf.CNF`."""
         self.ensure_vars(cnf.num_vars)
         for clause in cnf.clauses:
-            self.add_clause(clause)
+            self.add_clause(clause, group=group)
         return self.ok
 
-    def add_clause(self, lits):
-        """Add a problem clause; returns ``False`` on root-level conflict."""
+    # ------------------------------------------------------------------
+    # clause groups (assumption-guarded incremental interface)
+    # ------------------------------------------------------------------
+    def new_group(self):
+        """Open a clause group; returns its id.
+
+        Clauses added with ``group=id`` are active on every
+        :meth:`solve` until :meth:`release_group` retires them.  The
+        selector is allocated from the shared variable space, so reserve
+        the problem variables (:meth:`ensure_vars`) *before* opening
+        groups; :meth:`add_clause` rejects literals that collide with a
+        selector.
+        """
+        selector = self.reserve_var()
+        group = self._next_group
+        self._next_group += 1
+        self._group_selector[group] = selector
+        self._selector_group[selector] = group
+        self._group_clauses[group] = []
+        return group
+
+    def release_group(self, group):
+        """Permanently retire a group: its clauses stop constraining
+        anything, now and on every future :meth:`solve`.
+
+        Asserts the root unit falsifying the group's selector (which
+        satisfies every clause of the group, including any learnt clause
+        derived from them) and physically detaches the group's problem
+        clauses from the watch lists.  Only call between ``solve()``
+        calls — the trail must be at decision level 0.
+        """
+        if group not in self._group_selector:
+            raise ReproError("unknown clause group %r" % (group,))
+        if group in self._released:
+            return
+        self._released.add(group)
+        selector = self._group_selector[group]
+        clauses = self._group_clauses.pop(group)
+        if clauses:
+            for clause in clauses:
+                clause.deleted = True
+                for lit in clause.lits[:2]:
+                    watchers = self.watches[self._widx(-lit)]
+                    try:
+                        watchers.remove(clause)
+                    except ValueError:  # pragma: no cover - invariant
+                        pass
+            # Unhooked clauses are inert (the root unit below satisfies
+            # them); compact the DB list lazily rather than rebuilding
+            # it on every release — releases sit on the loop's hot path.
+            self._dead_clauses += len(clauses)
+            if self._dead_clauses > 64 and \
+                    self._dead_clauses * 4 >= len(self.clauses):
+                self.clauses = [c for c in self.clauses if not c.deleted]
+                self._dead_clauses = 0
+        # Assert the unit ¬selector directly (add_clause rejects literals
+        # that touch selector variables on purpose).
+        if self.ok and self._value(-selector) is not True:
+            if not self._enqueue(-selector, None):  # pragma: no cover
+                self.ok = False
+            else:
+                self.ok = self._propagate() is None
+
+    def _mask_selectors(self, lits):
+        return [l for l in lits if abs(l) not in self._selector_group]
+
+    def add_clause(self, lits, group=None):
+        """Add a problem clause; returns ``False`` on root-level conflict.
+
+        With ``group=g`` the clause is guarded by the group's selector:
+        it constrains the search only while the group is live, and
+        :meth:`release_group` retires it.
+        """
         if not self.ok:
             return False
         lits = [int(l) for l in lits]
+        if self._selector_group:
+            for l in lits:
+                if abs(l) in self._selector_group:
+                    raise ReproError(
+                        "literal %d references a group selector; reserve "
+                        "problem variables before opening groups" % l)
+        if group is not None:
+            if group not in self._group_selector:
+                raise ReproError("unknown clause group %r" % (group,))
+            if group in self._released:
+                raise ReproError("clause group %r is released" % (group,))
+            lits.append(-self._group_selector[group])
         for l in lits:
             self.ensure_vars(abs(l))
         # Root-level simplification: drop falsified lits, detect tautology.
@@ -173,6 +284,8 @@ class Solver:
         clause = _Clause(out, learnt=False)
         self.clauses.append(clause)
         self._watch(clause)
+        if group is not None:
+            self._group_clauses[group].append(clause)
         return True
 
     def _watch(self, clause):
@@ -467,10 +580,19 @@ class Solver:
         all variables; after :data:`UNSAT` under assumptions, :attr:`core`
         holds a subset of the assumptions sufficient for unsatisfiability
         (empty when the formula is unconditionally UNSAT).
+
+        Selectors of live clause groups are assumed automatically (first,
+        so group context is established before the caller's assumptions)
+        and masked out of both the model and the core.
         """
         self.model = None
         self.core = None
         assumptions = [int(l) for l in assumptions]
+        if self._group_selector:
+            selectors = [self._group_selector[g]
+                         for g in sorted(self._group_selector)
+                         if g not in self._released]
+            assumptions = selectors + assumptions
         for l in assumptions:
             self.ensure_vars(abs(l))
         if not self.ok:
@@ -490,6 +612,12 @@ class Solver:
                                   deadline, max_learnts)
             if status is not None:
                 self._cancel_until(0)
+                if self._selector_group:
+                    if status == SAT:
+                        for v in self._selector_group:
+                            self.model.pop(v, None)
+                    elif status == UNSAT and self.core:
+                        self.core = self._mask_selectors(self.core)
                 return status
             self.restarts += 1
             if conflict_budget is not None and \

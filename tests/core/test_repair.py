@@ -119,3 +119,49 @@ class TestRepairIteration:
             repair_iteration(inst, candidates, tracker, [2, 3],
                              outcome.sigma_x, config)
         assert verify_candidates(inst, candidates).verdict == "VALID"
+
+
+class TestRefreshVector:
+    """Partial re-evaluation after a single repair must agree with the
+    full composition-order re-evaluation it replaces."""
+
+    def test_matches_full_reevaluation(self):
+        import random
+
+        rng = random.Random(3)
+        order = [10, 11, 12, 13]
+        x_vars = [1, 2, 3]
+        for trial in range(40):
+            # Each candidate may read X and any variable later in order.
+            candidates = {}
+            for i, y in enumerate(order):
+                readable = x_vars + order[i + 1:]
+                picks = rng.sample(readable, min(2, len(readable)))
+                expr = bf.and_(*[bf.lit(v if rng.random() < 0.5 else -v)
+                                 for v in picks])
+                candidates[y] = expr if rng.random() < 0.7 else bf.not_(expr)
+            sigma_x = {v: rng.random() < 0.5 for v in x_vars}
+            outputs = evaluate_vector(candidates, order, sigma_x)
+            # Repair an arbitrary candidate, then refresh partially.
+            yk = rng.choice(order)
+            beta = bf.lit(rng.choice(x_vars))
+            candidates[yk] = bf.and_(candidates[yk], bf.not_(beta)) \
+                if rng.random() < 0.5 else bf.or_(candidates[yk], beta)
+            from repro.core.repair import refresh_vector
+            assert refresh_vector(candidates, order, outputs, sigma_x,
+                                  yk) == \
+                evaluate_vector(candidates, order, sigma_x), trial
+
+    def test_only_prefix_reevaluated(self):
+        """Positions after yk keep their dict values untouched."""
+        from repro.core.repair import refresh_vector
+
+        candidates = {5: bf.var(6), 6: bf.var(1), 7: bf.not_(bf.var(1))}
+        order = [5, 6, 7]
+        sigma_x = {1: True}
+        outputs = evaluate_vector(candidates, order, sigma_x)
+        candidates[6] = bf.not_(bf.var(1))
+        refreshed = refresh_vector(candidates, order, outputs, sigma_x, 6)
+        assert refreshed[7] == outputs[7]          # after yk: untouched
+        assert refreshed[6] is False               # yk recomputed
+        assert refreshed[5] is False               # before yk: recomputed

@@ -109,3 +109,69 @@ def test_tseitin_equivalence_property(expr):
     """Property: the Tseitin output literal tracks the expression on
     every assignment of the base variables."""
     _assert_encoding_correct(expr, 4)
+
+
+class TestIncrementalMemo:
+    """The encoder's id-keyed cache is structural (expressions are
+    hash-consed): a session that keeps one encoder alive re-encodes only
+    nodes it has never seen."""
+
+    def test_repaired_candidate_reencodes_only_beta(self):
+        cnf = CNF(num_vars=4)
+        enc = TseitinEncoder(cnf)
+        f = bf.and_(bf.var(1), bf.or_(bf.var(2), bf.var(3)))
+        enc.encode(f)
+        clauses_before = len(cnf)
+        misses_before = enc.misses
+        beta = bf.and_(bf.lit(2), bf.lit(-4))
+        repaired = bf.and_(f, bf.not_(beta))     # the repair shape f ∧ ¬β
+        enc.encode(repaired)
+        # only β's nodes (plus the new flattened top AND) need defining
+        # clauses — f's subtree is fully reused
+        assert enc.misses - misses_before <= 5
+        assert enc.hits > 0
+        assert len(cnf) > clauses_before
+
+    def test_structurally_identical_rebuild_reuses(self):
+        cnf = CNF(num_vars=3)
+        enc = TseitinEncoder(cnf)
+        first = enc.encode(bf.or_(bf.var(1), bf.and_(bf.var(2), bf.var(3))))
+        clauses = len(cnf)
+        again = enc.encode(bf.or_(bf.var(1), bf.and_(bf.var(2), bf.var(3))))
+        assert again == first
+        assert len(cnf) == clauses  # nothing re-encoded
+
+    def test_counters_start_at_zero(self):
+        enc = TseitinEncoder(CNF())
+        assert (enc.hits, enc.misses) == (0, 0)
+
+
+class TestSolverSink:
+    def test_encoding_into_live_solver_matches_cnf_path(self):
+        from repro.formula.tseitin import SolverSink
+
+        expr = bf.or_(bf.and_(bf.var(1), bf.not_(bf.var(2))),
+                      bf.xor(bf.var(2), bf.var(3)))
+        cnf, out_cnf = expr_to_cnf(expr, num_vars=3)
+        solver = Solver()
+        solver.ensure_vars(3)
+        enc = TseitinEncoder(SolverSink(solver))
+        out_live = enc.encode(expr)
+        for model in enumerate_models(cnf, variables=[1, 2, 3], limit=None):
+            want = expr.evaluate(model)
+            assumptions = [v if model[v] else -v for v in (1, 2, 3)]
+            assert solver.solve(assumptions=assumptions + [out_live]) == \
+                (SAT if want else UNSAT)
+
+    def test_group_routing(self):
+        from repro.formula.tseitin import SolverSink
+
+        solver = Solver()
+        solver.ensure_vars(2)
+        group = solver.new_group()
+        enc = TseitinEncoder(SolverSink(solver, group=group))
+        out = enc.encode(bf.and_(bf.var(1), bf.var(2)))
+        solver.add_clause((out,), group=group)
+        assert solver.solve(assumptions=[-1]) == UNSAT
+        solver.release_group(group)
+        assert solver.solve(assumptions=[-1]) == SAT

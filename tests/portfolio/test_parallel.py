@@ -68,8 +68,9 @@ class TestRegistry:
             assert callable(engine.run)
 
     def test_registry_covers_cli_choices(self):
-        assert set(ENGINE_BUILDERS) == {"manthan3", "expansion",
-                                        "pedant", "skolem", "bdd"}
+        assert set(ENGINE_BUILDERS) == {"manthan3", "manthan3-fresh",
+                                        "expansion", "pedant", "skolem",
+                                        "bdd"}
 
     def test_unknown_engine_raises(self):
         with pytest.raises(ReproError):

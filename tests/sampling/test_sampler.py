@@ -72,3 +72,46 @@ class TestSampler:
         time.sleep(0.001)
         with pytest.raises(ResourceBudgetExceeded):
             Sampler(cnf).draw(5, deadline=deadline)
+
+
+class TestPersistentSolver:
+    """The sampler keeps one solver across draws by default; the fresh
+    fallback must stay available and both must sample correctly."""
+
+    def test_persistent_is_default_and_reuses_solver(self):
+        cnf = CNF([[1, 2], [-1, 3]])
+        sampler = Sampler(cnf, rng=8)
+        sampler.draw(5)
+        solver = sampler._solver
+        assert solver is not None
+        sampler.draw(5)
+        assert sampler._solver is solver
+        assert sampler.stats()["calls"] == 10
+
+    def test_fresh_fallback_builds_no_persistent_solver(self):
+        cnf = CNF([[1, 2]])
+        sampler = Sampler(cnf, rng=8, incremental=False)
+        models = sampler.draw(10)
+        assert sampler._solver is None
+        assert all(cnf.evaluate(m) for m in models)
+
+    def test_both_modes_sample_models_and_stay_diverse(self):
+        cnf = CNF([[1, 2], [-1, 3], [-2, -3]])
+        for incremental in (True, False):
+            models = sample_models(cnf, 40, rng=6, incremental=incremental)
+            assert all(cnf.evaluate(m) for m in models)
+            distinct = {tuple(sorted(m.items())) for m in models}
+            assert len(distinct) >= 2, incremental
+
+    def test_persistent_deterministic_under_seed(self):
+        cnf = CNF([[1, 2, 3]], num_vars=3)
+        a = sample_models(cnf, 15, rng=42)
+        b = sample_models(cnf, 15, rng=42)
+        assert a == b
+
+    def test_adaptive_weights_flow_into_persistent_solver(self):
+        cnf = CNF([[2]])
+        sampler = Sampler(cnf, rng=6, weighted_vars=[2], pilot=3)
+        sampler.draw(6)
+        assert sampler._solver.polarity_weights[2] == \
+            sampler._weights[2] == 0.9
