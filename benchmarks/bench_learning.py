@@ -1,0 +1,185 @@
+"""PERF — learn-phase benchmark: bit-parallel vs dict-row learning.
+
+Times ``learn_all_candidates`` over several benchgen families and sample
+counts on both training paths: packed column bitsets
+(``Manthan3Config.bitparallel``, the default) vs per-sample row dicts
+(the seed behavior).  Samples are drawn once per instance and handed to
+each path in its native container — a :class:`SampleMatrix` vs the model
+dict list — exactly as the engine's sampler does.
+
+Two timings are recorded per row:
+
+* ``fit`` — the tree-induction time alone (``stats["fit_s"]``): the hot
+  loop the substrate replaces, and the acceptance metric (≥5× on the
+  planted family at 1000 samples);
+* ``total`` — the whole ``learn_all_candidates`` call, including the
+  path-independent tree→formula conversion and dependency bookkeeping.
+
+The summary is written to ``benchmarks/results/learning.json`` so the
+repo carries a recorded perf trajectory.
+
+Knobs (environment variables):
+
+* ``REPRO_BENCH_LEARN_REPEATS`` — timing repeats per row (default 3)
+* ``REPRO_BENCH_LEARN_SAMPLES`` — comma-separated sample counts
+  (default ``250,1000``)
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.benchgen import (
+    generate_controller_instance,
+    generate_pec_instance,
+    generate_planted_instance,
+)
+from repro.core import Manthan3Config
+from repro.core.candidates import learn_all_candidates
+from repro.formula.bitvec import SampleMatrix
+from repro.sampling import Sampler
+
+ACCEPTANCE_FAMILY = "planted"
+ACCEPTANCE_SAMPLES = 1000
+ACCEPTANCE_SPEEDUP = 5.0
+
+
+def _families():
+    return {
+        "planted": [
+            generate_planted_instance(
+                num_universals=20, num_existentials=4, dep_width=18,
+                region_width=3, rules_per_y=6, seed=101),
+            generate_planted_instance(
+                num_universals=24, num_existentials=5, dep_width=20,
+                region_width=3, rules_per_y=7, seed=102),
+            generate_planted_instance(
+                num_universals=22, num_existentials=4, dep_width=19,
+                region_width=4, rules_per_y=10, seed=103),
+        ],
+        "pec": [
+            generate_pec_instance(num_inputs=6, num_outputs=3,
+                                  num_boxes=2, depth=3,
+                                  extra_observables=1, realizable=True,
+                                  seed=105),
+            generate_pec_instance(num_inputs=7, num_outputs=3,
+                                  num_boxes=2, depth=3, realizable=True,
+                                  seed=106),
+        ],
+        "controller": [
+            generate_controller_instance(num_state=4, num_disturbance=2,
+                                         num_controls=2, observable=True,
+                                         seed=107),
+            generate_controller_instance(num_state=5, num_disturbance=2,
+                                         num_controls=3, observable=True,
+                                         seed=108),
+        ],
+    }
+
+
+def _repeats():
+    return int(os.environ.get("REPRO_BENCH_LEARN_REPEATS", "3"))
+
+
+def _sample_counts():
+    raw = os.environ.get("REPRO_BENCH_LEARN_SAMPLES", "250,1000")
+    return [int(part) for part in raw.split(",") if part]
+
+
+def _time_learning(instance, data, bitparallel, repeats):
+    """Best-of-``repeats`` (total_s, fit_s, candidates, stats)."""
+    config = Manthan3Config(bitparallel=bitparallel)
+    best = None
+    for _ in range(repeats):
+        stats = {}
+        started = time.perf_counter()
+        candidates, _ = learn_all_candidates(instance, data, config,
+                                             stats=stats)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best[0]:
+            best = (elapsed, stats["fit_s"], candidates, stats)
+    return best
+
+
+def test_learning_bitparallel_vs_dict():
+    """Time every family × sample count on both paths, check the paths
+    learn identical candidate vectors, and persist the JSON summary."""
+    repeats = _repeats()
+    sample_counts = _sample_counts()
+    summary = {
+        "benchmark": "learning",
+        "repeats": repeats,
+        "sample_counts": sample_counts,
+        "seed": 1,
+        "families": {},
+    }
+    for family, instances in _families().items():
+        rows = []
+        by_samples = {}
+        for count in sample_counts:
+            dict_fit = packed_fit = 0.0
+            dict_total = packed_total = 0.0
+            for instance in instances:
+                sampler = Sampler(instance.matrix, rng=1,
+                                  weighted_vars=instance.existentials)
+                models = sampler.draw(count)
+                matrix = SampleMatrix.from_models(models)
+                p_total, p_fit, p_cands, p_stats = _time_learning(
+                    instance, matrix, True, repeats)
+                d_total, d_fit, d_cands, _ = _time_learning(
+                    instance, models, False, repeats)
+                rows.append({
+                    "instance": instance.name,
+                    "samples": len(models),
+                    "dict_fit_s": round(d_fit, 5),
+                    "packed_fit_s": round(p_fit, 5),
+                    "dict_total_s": round(d_total, 5),
+                    "packed_total_s": round(p_total, 5),
+                    "fit_speedup": round(d_fit / p_fit, 2)
+                    if p_fit > 0 else None,
+                    "trees": p_stats["trees"],
+                    "bitops": p_stats["bitops"],
+                    "equivalent": p_cands == d_cands,
+                })
+                dict_fit += d_fit
+                packed_fit += p_fit
+                dict_total += d_total
+                packed_total += p_total
+            by_samples[str(count)] = {
+                "dict_fit_s": round(dict_fit, 5),
+                "packed_fit_s": round(packed_fit, 5),
+                "dict_total_s": round(dict_total, 5),
+                "packed_total_s": round(packed_total, 5),
+                "fit_speedup": round(dict_fit / packed_fit, 2)
+                if packed_fit > 0 else None,
+                "total_speedup": round(dict_total / packed_total, 2)
+                if packed_total > 0 else None,
+            }
+        summary["families"][family] = {"rows": rows,
+                                       "by_samples": by_samples}
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "learning.json")
+    with open(path, "w") as handle:
+        json.dump(summary, handle, indent=1, sort_keys=True)
+    print("\n" + json.dumps(
+        {family: data["by_samples"]
+         for family, data in summary["families"].items()},
+        indent=1, sort_keys=True))
+
+    # Correctness floor: the two paths must learn the same functions on
+    # every row — a fast wrong learner is worthless.
+    for family, data in summary["families"].items():
+        for row in data["rows"]:
+            assert row["equivalent"], (family, row["instance"])
+
+    # Acceptance bar: ≥5× tree-induction speedup on the planted family
+    # at the 1000-sample point (only when that point was measured; the
+    # floor is overridable for noisy shared runners).
+    if ACCEPTANCE_SAMPLES in sample_counts:
+        floor = float(os.environ.get("REPRO_BENCH_LEARN_MIN_SPEEDUP",
+                                     str(ACCEPTANCE_SPEEDUP)))
+        gate = summary["families"][ACCEPTANCE_FAMILY]
+        speedup = gate["by_samples"][str(ACCEPTANCE_SAMPLES)]["fit_speedup"]
+        assert speedup and speedup >= floor, speedup

@@ -230,7 +230,8 @@ def build_parser():
     synth = sub.add_parser("synth", help="synthesize Henkin functions")
     synth.add_argument("file")
     synth.add_argument("--engine", default="manthan3",
-                       choices=["manthan3", "manthan3-fresh", "expansion",
+                       choices=["manthan3", "manthan3-fresh",
+                                "manthan3-rowwise", "expansion",
                                 "pedant", "skolem", "bdd"])
     synth.add_argument("--format", default="auto",
                        choices=["auto", "dqdimacs", "qdimacs"])

@@ -7,10 +7,21 @@ are the valuations of ``yi``.  The candidate is the disjunction of the
 tree's 1-paths.  Discovered uses of ``yj`` features are recorded in the
 dependency bookkeeping ``D`` (line 12) so ``FindOrder`` can later produce
 a valid total order.
+
+Samples may be given as assignment dicts (the row-oriented fallback) or
+as a packed :class:`~repro.formula.bitvec.SampleMatrix`; with
+``Manthan3Config.bitparallel`` (the default) ``learn_all_candidates``
+packs dict samples once and trains every tree from column bitsets — no
+per-sample row dicts are ever materialised, and split scoring is
+popcounts instead of Python row loops.  Both paths grow identical trees
+(see :mod:`repro.learning.decision_tree`).
 """
+
+import time
 
 import networkx as nx
 
+from repro.formula.bitvec import SampleMatrix
 from repro.learning.decision_tree import DecisionTree
 from repro.learning.tree_to_formula import tree_to_expr
 
@@ -24,28 +35,72 @@ class DependencyTracker:
     reachability query, which is transitively closed by construction —
     the set formulation can miss late-added transitive dependers and
     admit a cycle.
+
+    Reachability is served from an incremental descendants cache:
+    ``feature_set_for`` fires one ``may_use`` query per (yi, yj) pair,
+    and a fresh BFS per query is a quadratic blowup on wide instances.
+    Each queried node's descendant set is computed once (reusing the
+    cached sets of the nodes it reaches) and invalidated precisely on
+    :meth:`record_use` — only for the nodes whose reachable set can have
+    grown, i.e. the edge's tail and everything that reaches it.
     """
 
     def __init__(self, existentials):
         self.graph = nx.DiGraph()
         self.graph.add_nodes_from(existentials)
+        self._descendants = {}
 
     def seed_subset_pairs(self, instance):
         """Lines 3–5 of Algorithm 1: ``Hj ⊂ Hi`` fixes the direction
         upfront — ``yi`` may (eventually) use ``yj``, never vice versa."""
         for yi, yj in instance.dependency_subset_pairs():
-            self.graph.add_edge(yi, yj)
+            self._add_edge(yi, yj)
 
     def record_use(self, yi, used_ys):
         """``yi``'s candidate uses each ``yk ∈ used_ys``."""
         for yk in used_ys:
-            self.graph.add_edge(yi, yk)
+            self._add_edge(yi, yk)
+
+    def _add_edge(self, u, v):
+        if self.graph.has_edge(u, v):
+            return
+        self.graph.add_edge(u, v)
+        cache = self._descendants
+        stale = [n for n, desc in cache.items() if n == u or u in desc]
+        for n in stale:
+            del cache[n]
+
+    def descendants(self, node):
+        """Frozenset of nodes ``node`` (transitively) depends on."""
+        cached = self._descendants.get(node)
+        if cached is not None:
+            return cached
+        out = set()
+        seen = {node}
+        stack = [node]
+        cache = self._descendants
+        successors = self.graph.successors
+        while stack:
+            for succ in successors(stack.pop()):
+                if succ in seen:
+                    continue
+                seen.add(succ)
+                out.add(succ)
+                sub = cache.get(succ)
+                if sub is not None:
+                    out |= sub
+                    seen |= sub
+                else:
+                    stack.append(succ)
+        out = frozenset(out)
+        cache[node] = out
+        return out
 
     def may_use(self, yi, yj):
         """Can ``yi``'s candidate take ``yj`` as a feature without
         creating a cycle?  Yes iff ``yj`` does not (transitively) depend
         on ``yi``."""
-        return yi != yj and not nx.has_path(self.graph, yj, yi)
+        return yi != yj and yi not in self.descendants(yj)
 
     def edges(self):
         """Yield ``(depender, dependee)`` pairs."""
@@ -68,17 +123,35 @@ def feature_set_for(instance, yi, tracker, fixed=(), use_y_features=True):
     return features
 
 
-def learn_candidate(instance, yi, samples, tracker, config, fixed=()):
+def learn_candidate(instance, yi, samples, tracker, config, fixed=(),
+                    stats=None):
     """Learn the candidate ``fi`` for ``yi``; returns ``(expr, used_ys)``
-    and updates ``tracker`` (Algorithm 2)."""
+    and updates ``tracker`` (Algorithm 2).
+
+    ``samples`` is either a list of assignment dicts (row path) or a
+    packed :class:`SampleMatrix` (bit-parallel path) — the trained tree
+    is identical either way.  ``stats`` (a dict) accumulates fit wall
+    time, tree count, and bitwise-op count across calls.
+    """
     features = feature_set_for(instance, yi, tracker, fixed=fixed,
                                use_y_features=config.use_y_features)
-    rows = [{f: int(model[f]) for f in features} for model in samples]
-    labels = [int(model[yi]) for model in samples]
     tree = DecisionTree(
         max_depth=config.tree_max_depth,
         min_impurity_decrease=config.tree_min_impurity_decrease,
-    ).fit(rows, labels, features)
+    )
+    started = time.perf_counter()
+    if isinstance(samples, SampleMatrix):
+        tree.fit_bitset(samples.columns, samples.column(yi), features,
+                        samples.num_rows)
+    else:
+        rows = [{f: int(model[f]) for f in features} for model in samples]
+        labels = [int(model[yi]) for model in samples]
+        tree.fit(rows, labels, features)
+    if stats is not None:
+        stats["fit_s"] = stats.get("fit_s", 0.0) + \
+            (time.perf_counter() - started)
+        stats["trees"] = stats.get("trees", 0) + 1
+        stats["bitops"] = stats.get("bitops", 0) + tree.bitops
     expr = tree_to_expr(tree, label=1)
     used_ys = {f for f in tree.used_features()
                if f in instance.dependencies}
@@ -86,11 +159,20 @@ def learn_candidate(instance, yi, samples, tracker, config, fixed=()):
     return expr, used_ys
 
 
-def learn_all_candidates(instance, samples, config, fixed=None):
+def learn_all_candidates(instance, samples, config, fixed=None, stats=None):
     """Algorithm 1, lines 2–7: seed D, then learn every non-fixed
     candidate.  Returns ``(candidates, tracker)`` where ``candidates``
-    includes the fixed functions."""
+    includes the fixed functions.
+
+    With ``config.bitparallel`` dict samples are packed into a
+    :class:`SampleMatrix` once up front (a matrix passed in directly is
+    used as-is).  When ``stats`` (a dict) is supplied, learning-phase
+    counters are recorded into it: mode, per-fit wall time, tree count,
+    and bitwise-op count.
+    """
     fixed = dict(fixed or {})
+    if config.bitparallel and not isinstance(samples, SampleMatrix):
+        samples = SampleMatrix.from_models(samples)
     tracker = DependencyTracker(instance.existentials)
     tracker.seed_subset_pairs(instance)
     candidates = dict(fixed)
@@ -102,10 +184,15 @@ def learn_all_candidates(instance, samples, config, fixed=None):
         used = expr.support() & y_set
         if used:
             tracker.record_use(y, used)
+    fit_stats = {"fit_s": 0.0, "trees": 0, "bitops": 0}
     for yi in instance.existentials:
         if yi in fixed:
             continue
         expr, _ = learn_candidate(instance, yi, samples, tracker, config,
-                                  fixed=fixed)
+                                  fixed=fixed, stats=fit_stats)
         candidates[yi] = expr
+    if stats is not None:
+        stats["mode"] = ("bitparallel"
+                        if isinstance(samples, SampleMatrix) else "dict")
+        stats.update(fit_stats)
     return candidates, tracker

@@ -48,6 +48,16 @@ class Manthan3Config:
         Size guard on the substituted expression.
     sat_conflict_budget:
         Per-oracle-call conflict cap (``None`` = unbounded).
+    bitparallel:
+        Run learning and repair-side candidate evaluation on the
+        bit-parallel simulation substrate
+        (:mod:`repro.formula.bitvec`): samples are packed into
+        column-major bitset matrices, decision-tree split scoring is
+        popcounts, and counterexample evaluation is a batched bitwise
+        DAG sweep.  ``False`` falls back to per-row dicts and
+        per-assignment evaluation (the seed behavior) — kept selectable
+        for A/B comparison; the two paths produce identical trees and
+        identical repair decisions, so verdicts match exactly.
     incremental:
         Run the oracle loop on persistent solver sessions
         (:mod:`repro.core.sessions`): one E-solver whose candidate
@@ -77,6 +87,7 @@ class Manthan3Config:
                  self_substitution_threshold=12,
                  self_substitution_max_dag=50_000,
                  sat_conflict_budget=None,
+                 bitparallel=True,
                  incremental=True,
                  seed=None):
         self.num_samples = num_samples
@@ -95,6 +106,7 @@ class Manthan3Config:
         self.self_substitution_threshold = self_substitution_threshold
         self.self_substitution_max_dag = self_substitution_max_dag
         self.sat_conflict_budget = sat_conflict_budget
+        self.bitparallel = bitparallel
         self.incremental = incremental
         self.seed = seed
 

@@ -2,6 +2,7 @@
 
 from repro.core.candidates import learn_all_candidates
 from repro.core.config import Manthan3Config
+from repro.formula.bitvec import SampleMatrix
 from repro.core.order import find_order, substitute_candidates
 from repro.core.preprocess import preprocess
 from repro.core.repair import repair_iteration
@@ -107,13 +108,16 @@ class Manthan3:
                 stats["oracle"] = oracle
             return self._finish(status, stats, stopwatch, **kwargs)
 
-        # Data generation (Algorithm 1, line 1).
+        # Data generation (Algorithm 1, line 1).  With bitparallel the
+        # draw packs straight into a column-major SampleMatrix — the
+        # learner never sees a per-sample dict.
         weighted = instance.existentials if config.adaptive_sampling else ()
         sampler = Sampler(instance.matrix, rng=spawn(rng, 1),
                           weighted_vars=weighted,
                           incremental=config.incremental)
         samples = sampler.draw(config.num_samples, deadline=deadline,
-                               conflict_budget=config.sat_conflict_budget)
+                               conflict_budget=config.sat_conflict_budget,
+                               packed=config.bitparallel)
         stats["samples"] = len(samples)
         if not samples:
             # ϕ itself is unsatisfiable: no X has a Y extension.
@@ -128,14 +132,23 @@ class Manthan3:
         stats.update({"fixed_" + k: v for k, v in pre.stats.items()})
 
         # Candidate learning (lines 2–7).
+        learn_stats = {}
         candidates, tracker = learn_all_candidates(instance, samples, config,
-                                                   fixed=pre.fixed)
+                                                   fixed=pre.fixed,
+                                                   stats=learn_stats)
         stats["candidates_learned"] = (len(candidates) - len(pre.fixed))
+        stats["learning"] = learn_stats
 
         # FindOrder (line 8).
         order = find_order(instance, tracker)
 
-        # Verify–repair loop (lines 9–18).
+        # Verify–repair loop (lines 9–18).  The counterexample matrix
+        # batches every σ[X] seen so far; repair's candidate-vector
+        # evaluations sweep the whole batch bit-parallel.  Its width is
+        # bounded by max_repair_iterations (default 400 rows ≈ 7 machine
+        # words per column), so the widening sweeps stay cheap.
+        cex_matrix = SampleMatrix(instance.universals) \
+            if config.bitparallel else None
         stagnation = 0
         repair_counts = {}
         non_repairable = dict(pre.fixed)
@@ -164,7 +177,7 @@ class Manthan3:
                 config, fixed=non_repairable,
                 rng=spawn(rng, 200 + iteration),
                 deadline=deadline, repair_counts=repair_counts,
-                matrix_session=matrix_session)
+                matrix_session=matrix_session, cex_matrix=cex_matrix)
             # Manthan2-style fallback: a candidate repaired too often is
             # replaced by its self-substitution and retired from repair.
             if config.use_self_substitution:

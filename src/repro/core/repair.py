@@ -28,6 +28,7 @@ variables ordered before it can be affected by the repair.
 from collections import deque
 
 from repro.formula import boolfunc as bf
+from repro.formula.bitvec import evaluate_vector_bits, refresh_vector_bits
 from repro.maxsat import solve_maxsat
 from repro.sat.solver import Solver, SAT, UNSAT
 from repro.utils.errors import ResourceBudgetExceeded
@@ -79,7 +80,7 @@ def find_repair_candidates(instance, sigma_x, outputs, repairable, config,
 
 def repair_iteration(instance, candidates, tracker, order, sigma_x, config,
                      fixed=(), rng=None, deadline=None, repair_counts=None,
-                     matrix_session=None):
+                     matrix_session=None, cex_matrix=None):
     """Process one counterexample; mutates ``candidates``.
 
     Returns the number of candidate functions modified (0 signals the
@@ -89,11 +90,24 @@ def repair_iteration(instance, candidates, tracker, order, sigma_x, config,
     self-substitution fallback.  With ``matrix_session`` the ``Gk``
     checks are assumption queries against the engine's persistent
     ϕ-solver instead of a throwaway per-iteration solver.
+
+    With ``cex_matrix`` (a :class:`~repro.formula.bitvec.SampleMatrix`
+    over the universal variables, owned by the engine) σ is appended as
+    a row and the candidate-vector evaluations run bit-parallel over the
+    *whole* batch of counterexamples seen so far — one bitwise op per
+    DAG node regardless of batch width — with this σ's outputs read off
+    its bit position.  The booleans driving repair are identical to the
+    per-assignment path.
     """
     fixed = set(fixed)
     index_of = {y: i for i, y in enumerate(order)}
     y_set = set(instance.existentials)
-    outputs = evaluate_vector(candidates, order, sigma_x)
+    if cex_matrix is not None:
+        cex_row = cex_matrix.append(sigma_x)
+        output_bits = evaluate_vector_bits(candidates, order, cex_matrix)
+        outputs = {y: bool((output_bits[y] >> cex_row) & 1) for y in order}
+    else:
+        outputs = evaluate_vector(candidates, order, sigma_x)
 
     repairable = [y for y in instance.existentials if y not in fixed]
     ind = find_repair_candidates(instance, sigma_x, outputs, repairable,
@@ -153,7 +167,14 @@ def repair_iteration(instance, candidates, tracker, order, sigma_x, config,
             modified += 1
             if repair_counts is not None:
                 repair_counts[yk] = repair_counts.get(yk, 0) + 1
-            outputs = refresh_vector(candidates, order, outputs, sigma_x, yk)
+            if cex_matrix is not None:
+                output_bits = refresh_vector_bits(candidates, order,
+                                                  output_bits, cex_matrix, yk)
+                outputs = {y: bool((output_bits[y] >> cex_row) & 1)
+                           for y in order}
+            else:
+                outputs = refresh_vector(candidates, order, outputs,
+                                         sigma_x, yk)
         elif status == SAT:
             rho = oracle.model
             for yt in instance.existentials:

@@ -27,6 +27,12 @@ from repro.formula.boolfunc import (
     lit,
 )
 from repro.formula.tseitin import TseitinEncoder, expr_to_cnf
+from repro.formula.bitvec import (
+    SampleMatrix,
+    eval_bitset,
+    evaluate_vector_bits,
+    refresh_vector_bits,
+)
 from repro.formula.minimize import table_to_expr
 from repro.formula.simplify import simplify_cnf
 from repro.formula.aig import AIG, functions_to_aig, write_henkin_aiger
@@ -57,4 +63,8 @@ __all__ = [
     "lit",
     "TseitinEncoder",
     "expr_to_cnf",
+    "SampleMatrix",
+    "eval_bitset",
+    "evaluate_vector_bits",
+    "refresh_vector_bits",
 ]

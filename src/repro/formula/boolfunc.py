@@ -35,13 +35,14 @@ class BoolExpr:
     constructors so that interning and simplification apply.
     """
 
-    __slots__ = ("op", "children", "payload", "_hash")
+    __slots__ = ("op", "children", "payload", "_hash", "_support")
 
     def __init__(self, op, children=(), payload=None):
         self.op = op
         self.children = children
         self.payload = payload
         self._hash = hash((op, payload) + tuple(id(c) for c in children))
+        self._support = None
 
     def __hash__(self):
         return self._hash
@@ -88,20 +89,37 @@ class BoolExpr:
         return self.is_var() or (self.op == OP_NOT and self.children[0].is_var())
 
     def support(self):
-        """Set of variable ids the expression structurally mentions."""
-        out = set()
-        seen = set()
+        """Set of variable ids the expression structurally mentions.
+
+        Cached on the node (a frozenset): nodes are immutable and
+        interned, and the synthesis loop asks for the same supports over
+        and over (fixed-candidate passes, ``FindOrder``, every repair).
+        Child caches compose, so a DAG is only ever walked once.
+        """
+        cached = self._support
+        if cached is not None:
+            return cached
         stack = [self]
         while stack:
-            node = stack.pop()
-            if id(node) in seen:
+            node = stack[-1]
+            if node._support is not None:
+                stack.pop()
                 continue
-            seen.add(id(node))
             if node.op == OP_VAR:
-                out.add(node.payload)
+                node._support = frozenset((node.payload,))
+                stack.pop()
+            elif not node.children:
+                node._support = frozenset()
+                stack.pop()
             else:
-                stack.extend(node.children)
-        return out
+                pending = [c for c in node.children if c._support is None]
+                if pending:
+                    stack.extend(pending)
+                else:
+                    node._support = frozenset().union(
+                        *[c._support for c in node.children])
+                    stack.pop()
+        return self._support
 
     def dag_size(self):
         """Number of distinct DAG nodes (shared nodes counted once)."""

@@ -3,6 +3,22 @@
 Features and labels are binary (0/1).  Feature columns are identified by
 arbitrary hashable ids — the synthesis engine passes variable ids so that
 tree paths convert directly into Boolean formulas over those variables.
+
+Two training paths produce **identical** trees from identical data:
+
+* :meth:`DecisionTree.fit` — the row-oriented path (dicts/sequences, one
+  Python loop per sample per feature per node).
+* :meth:`DecisionTree.fit_bitset` — the bit-parallel path: features and
+  labels are packed column bitsets (bit ``i`` = sample ``i``), split
+  scoring is two popcounts per feature, and node partitioning is two
+  mask ANDs.
+
+Equivalence is split-for-split, guaranteed by a shared tie-break
+contract: candidate features are scanned in the caller-given ``features``
+order and a split is only adopted on a *strictly* greater impurity
+decrease, so the earliest best feature wins in both paths; both paths
+compute the weighted Gini from the same four integer counts, so the
+floating-point values compared are bit-identical.
 """
 
 from repro.utils.errors import ReproError
@@ -70,6 +86,7 @@ class DecisionTree:
         self.tie_label = tie_label
         self.root = None
         self.features = None
+        self.bitops = 0
 
     # ------------------------------------------------------------------
     # training
@@ -130,6 +147,66 @@ class DecisionTree:
             feature,
             self._grow(rows, labels, low_idx, remaining, depth + 1),
             self._grow(rows, labels, high_idx, remaining, depth + 1),
+            samples=total,
+        )
+
+    def fit_bitset(self, columns, labels, features, num_rows):
+        """Train from packed column bitsets (bit ``i`` = sample ``i``).
+
+        ``columns`` maps feature id → bitset (only the ids in
+        ``features`` are read), ``labels`` is the label bitset and
+        ``num_rows`` the sample count.  Produces the exact tree
+        :meth:`fit` grows from the row expansion of the same data (see
+        the module docstring for the tie-break contract).  ``bitops``
+        counts the popcount/AND operations spent.
+        """
+        self.features = list(features)
+        mask = (1 << num_rows) - 1
+        self.root = self._grow_bits(columns, labels & mask, mask,
+                                    self.features, 0)
+        return self
+
+    def _grow_bits(self, columns, labels, mask, features, depth):
+        total = mask.bit_count()
+        positives = (labels & mask).bit_count()
+        self.bitops += 2
+        node_impurity = gini(positives, total)
+
+        if total == 0:
+            return Leaf(self.tie_label, 0, 0.0)
+        if positives == 0 or positives == total:
+            return Leaf(1 if positives else 0, total, 0.0)
+        if self.max_depth is not None and depth >= self.max_depth:
+            return self._majority_leaf(positives, total, node_impurity)
+        if not features:
+            return self._majority_leaf(positives, total, node_impurity)
+
+        node_labels = labels & mask
+        best = None
+        for feature in features:
+            high = columns[feature] & mask
+            n1 = high.bit_count()
+            p1 = (high & node_labels).bit_count()
+            self.bitops += 4
+            n0 = total - n1
+            p0 = positives - p1
+            if n0 == 0 or n1 == 0:
+                continue  # feature is constant on this node
+            weighted = (n0 * gini(p0, n0) + n1 * gini(p1, n1)) / total
+            decrease = node_impurity - weighted
+            if best is None or decrease > best[0]:
+                best = (decrease, feature, high)
+        if best is None or best[0] < self.min_impurity_decrease:
+            return self._majority_leaf(positives, total, node_impurity)
+
+        feature, high_mask = best[1], best[2]
+        low_mask = mask & ~high_mask
+        self.bitops += 1
+        remaining = [f for f in features if f != feature]
+        return Split(
+            feature,
+            self._grow_bits(columns, labels, low_mask, remaining, depth + 1),
+            self._grow_bits(columns, labels, high_mask, remaining, depth + 1),
             samples=total,
         )
 

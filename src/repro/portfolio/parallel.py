@@ -62,6 +62,15 @@ def _build_manthan3_fresh(seed):
     return engine
 
 
+def _build_manthan3_rowwise(seed):
+    """Manthan3 on the dict-row learning/evaluation path — the A/B
+    baseline for the bit-parallel simulation substrate."""
+    from repro.core import Manthan3, Manthan3Config
+    engine = Manthan3(Manthan3Config(seed=seed, bitparallel=False))
+    engine.name = "manthan3-rowwise"
+    return engine
+
+
 def _build_expansion(seed):
     from repro.baselines import ExpansionSynthesizer
     return ExpansionSynthesizer(seed=seed)
@@ -88,6 +97,7 @@ def _build_bdd(seed):
 ENGINE_BUILDERS = {
     "manthan3": _build_manthan3,
     "manthan3-fresh": _build_manthan3_fresh,
+    "manthan3-rowwise": _build_manthan3_rowwise,
     "expansion": _build_expansion,
     "pedant": _build_pedant,
     "skolem": _build_skolem,

@@ -1,5 +1,6 @@
 """Randomized CDCL sampling with adaptive polarity weighting."""
 
+from repro.formula.bitvec import SampleMatrix
 from repro.sat.solver import Solver, SAT, UNSAT
 from repro.utils.errors import ResourceBudgetExceeded
 from repro.utils.rng import make_rng, spawn
@@ -45,6 +46,7 @@ class Sampler:
         self._true_counts = {v: 0 for v in self.weighted_vars}
         self._drawn = 0
         self._solver = None
+        self._retired_conflicts = 0
         self.calls = 0
 
     def _build_solver(self, salt):
@@ -79,14 +81,19 @@ class Sampler:
                 self._weights[v] = min(self.bias_ceiling,
                                        max(self.bias_floor, p))
 
-    def draw(self, count, deadline=None, conflict_budget=None):
+    def draw(self, count, deadline=None, conflict_budget=None,
+             packed=False):
         """Return up to ``count`` models (fewer only if ϕ is UNSAT).
 
-        Each model is a ``{var: bool}`` dict over the CNF's variables.
-        Raises :class:`ResourceBudgetExceeded` if a SAT call exhausts its
+        Each model is a ``{var: bool}`` dict over the CNF's variables;
+        with ``packed=True`` the models are packed directly into a
+        column-major :class:`~repro.formula.bitvec.SampleMatrix` (no
+        per-sample dicts are retained) — the solver stream, weight
+        adaptation, and drawn models are identical either way.  Raises
+        :class:`ResourceBudgetExceeded` if a SAT call exhausts its
         budget.
         """
-        samples = []
+        samples = SampleMatrix() if packed else []
         for i in range(count):
             if deadline is not None:
                 deadline.check()
@@ -94,6 +101,10 @@ class Sampler:
             self.calls += 1
             status = solver.solve(conflict_budget=conflict_budget,
                                   deadline=deadline)
+            if not self.incremental:
+                # Fresh solvers die with the draw; bank their conflicts
+                # so both modes report comparable oracle work.
+                self._retired_conflicts += solver.conflicts
             if status == UNSAT:
                 break
             if status != SAT:
@@ -103,11 +114,16 @@ class Sampler:
         return samples
 
     def stats(self):
-        """Oracle counters (calls; conflicts of the persistent solver)."""
-        out = {"calls": self.calls}
+        """Oracle counters: calls and conflicts (both modes).
+
+        ``conflicts`` accumulates across fresh solvers in
+        ``incremental=False`` mode and reads the live solver otherwise,
+        so the two modes report comparable totals.
+        """
+        conflicts = self._retired_conflicts
         if self._solver is not None:
-            out["conflicts"] = self._solver.conflicts
-        return out
+            conflicts += self._solver.conflicts
+        return {"calls": self.calls, "conflicts": conflicts}
 
 
 def sample_models(cnf, count, rng=None, weighted_vars=(), deadline=None,

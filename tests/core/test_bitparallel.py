@@ -1,0 +1,125 @@
+"""Engine-level equivalence of the bit-parallel and dict/row paths.
+
+``bitparallel`` only changes *how* candidate functions are trained and
+evaluated — packed column bitsets vs per-sample dicts — never *what* is
+computed: the sampler stream, learned trees, repair decisions, and RNG
+consumption are identical.  The two paths must therefore agree not just
+on verdicts but on the exact functions synthesized.
+"""
+
+import random
+
+from repro.benchgen import generate_planted_instance
+from repro.core import Manthan3, Manthan3Config, Status
+from repro.core.candidates import DependencyTracker
+from repro.core.repair import repair_iteration
+from repro.dqbf import check_henkin_vector
+from repro.formula import boolfunc as bf
+from repro.formula.bitvec import SampleMatrix
+
+from tests.conftest import random_small_dqbf
+
+
+def run_both(instance, timeout=60, **config_overrides):
+    results = {}
+    for bitparallel in (True, False):
+        config = Manthan3Config(seed=7, bitparallel=bitparallel,
+                                **config_overrides)
+        results[bitparallel] = Manthan3(config).run(instance,
+                                                    timeout=timeout)
+    return results[True], results[False]
+
+
+class TestEngineEquivalence:
+    def test_paper_example(self, paper_example_instance):
+        packed, plain = run_both(paper_example_instance)
+        assert packed.status == plain.status == Status.SYNTHESIZED
+        assert packed.functions == plain.functions
+
+    def test_planted_suite(self):
+        for seed in (101, 102, 103):
+            inst = generate_planted_instance(
+                num_universals=12, num_existentials=3, dep_width=10,
+                region_width=3, rules_per_y=4, seed=seed)
+            packed, plain = run_both(inst, timeout=120)
+            assert packed.status == plain.status, seed
+            assert packed.functions == plain.functions, seed
+            if packed.status == Status.SYNTHESIZED:
+                assert check_henkin_vector(inst, packed.functions).valid
+
+    def test_random_small_instances(self):
+        rng = random.Random(5)
+        for trial in range(10):
+            inst = random_small_dqbf(rng)
+            packed, plain = run_both(inst, timeout=30, num_samples=30,
+                                     max_repair_iterations=40)
+            assert packed.status == plain.status, trial
+            assert packed.functions == plain.functions, trial
+            assert packed.witness == plain.witness, trial
+
+    def test_fresh_oracle_path_also_equivalent(self, paper_example_instance):
+        """bitparallel and incremental are independent axes."""
+        packed, plain = run_both(paper_example_instance, incremental=False)
+        assert packed.status == plain.status
+        assert packed.functions == plain.functions
+
+    def test_learning_stats_mode(self, paper_example_instance):
+        packed, plain = run_both(paper_example_instance)
+        assert packed.stats["learning"]["mode"] == "bitparallel"
+        assert plain.stats["learning"]["mode"] == "dict"
+        assert packed.stats["learning"]["trees"] == \
+            plain.stats["learning"]["trees"]
+
+
+class TestCampaignEquivalence:
+    def test_rowwise_engine_registered_and_equivalent(self):
+        """The dict-row path is campaign-selectable by name and matches
+        the default engine run-for-run on the planted suite (the two
+        paths are trajectory-equivalent, not just verdict-equivalent)."""
+        from repro.portfolio import run_campaign
+
+        suite = [generate_planted_instance(
+                     num_universals=14 + 2 * i, num_existentials=3,
+                     dep_width=12, region_width=3, rules_per_y=4,
+                     seed=30 + i)
+                 for i in range(2)]
+        table = run_campaign(suite, ["manthan3", "manthan3-rowwise"],
+                             timeout=60, seed=3)
+        for inst in suite:
+            packed = table.record_for("manthan3", inst.name)
+            plain = table.record_for("manthan3-rowwise", inst.name)
+            assert packed.status == plain.status, inst.name
+        for record in table.records:
+            assert record.certified is not False, record.instance
+
+
+class TestRepairEquivalence:
+    def test_batched_cex_matrix_matches_scalar_repair(self):
+        """Driving repair through a growing counterexample matrix makes
+        the same modifications as per-assignment evaluation."""
+        from repro.dqbf.instance import DQBFInstance
+        from repro.formula.cnf import CNF
+
+        # y3 must equal x1, y4 must equal x1 & x2; start from wrong
+        # constants so repair has work on every σ.
+        inst = DQBFInstance([1, 2], {3: [1], 4: [1, 2]},
+                            CNF([[-3, 1], [3, -1],
+                                 [-4, 1], [-4, 2], [4, -1, -2]]))
+        sigmas = [{1: True, 2: True}, {1: False, 2: True},
+                  {1: True, 2: False}]
+        config = Manthan3Config(seed=3)
+
+        def repair_all(cex_matrix):
+            candidates = {3: bf.FALSE, 4: bf.TRUE}
+            tracker = DependencyTracker(inst.existentials)
+            modified = []
+            for sigma in sigmas:
+                modified.append(repair_iteration(
+                    inst, candidates, tracker, [3, 4], dict(sigma),
+                    config, rng=1, cex_matrix=cex_matrix))
+            return candidates, modified
+
+        batched, batched_mods = repair_all(SampleMatrix(inst.universals))
+        scalar, scalar_mods = repair_all(None)
+        assert batched == scalar
+        assert batched_mods == scalar_mods

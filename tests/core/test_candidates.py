@@ -41,6 +41,61 @@ class TestDependencyTracker:
         tracker.record_use(3, {4})
         assert list(tracker.edges()) == [(3, 4)]
 
+    def test_descendants_cache_invalidated_on_record_use(self):
+        tracker = DependencyTracker([3, 4, 5])
+        # Warm the cache for every node's reachability.
+        assert tracker.may_use(5, 3) and tracker.may_use(3, 5)
+        tracker.record_use(3, {4})
+        tracker.record_use(4, {5})
+        # Queries after mutation must see the new transitive edges.
+        assert tracker.descendants(3) == {4, 5}
+        assert not tracker.may_use(5, 3)
+        assert tracker.may_use(3, 5)
+
+    def test_descendants_cached_between_queries(self):
+        tracker = DependencyTracker([3, 4, 5])
+        tracker.record_use(3, {4})
+        first = tracker.descendants(3)
+        assert tracker.descendants(3) is first
+        # An edge that cannot change 3's reachability keeps the cache.
+        tracker.record_use(5, {3})
+        assert tracker.descendants(3) is first
+        assert tracker.descendants(5) == {3, 4}
+
+    def test_cache_composes_from_cached_subresults(self):
+        tracker = DependencyTracker([1, 2, 3, 4])
+        tracker.record_use(3, {4})
+        assert tracker.descendants(3) == {4}
+        tracker.record_use(2, {3})
+        tracker.record_use(1, {2})
+        assert tracker.descendants(1) == {2, 3, 4}
+
+    def test_matches_networkx_reachability_on_random_dags(self):
+        import itertools
+        import random
+
+        import networkx as nx
+
+        rng = random.Random(7)
+        for trial in range(30):
+            nodes = list(range(1, rng.randint(3, 9)))
+            tracker = DependencyTracker(nodes)
+            reference = nx.DiGraph()
+            reference.add_nodes_from(nodes)
+            for _ in range(rng.randint(0, 12)):
+                # Only add DAG-preserving edges, as the engine does.
+                u, v = rng.sample(nodes, 2)
+                if tracker.may_use(u, v):
+                    tracker.record_use(u, {v})
+                    reference.add_edge(u, v)
+                # Interleave queries so caching/invalidation is stressed.
+                a, b = rng.sample(nodes, 2)
+                assert tracker.may_use(a, b) == \
+                    (not nx.has_path(reference, b, a)), trial
+            for a, b in itertools.permutations(nodes, 2):
+                assert tracker.may_use(a, b) == \
+                    (not nx.has_path(reference, b, a)), trial
+
 
 class TestFeatureSets:
     def test_dependencies_always_included(self):
@@ -121,3 +176,53 @@ class TestLearning:
         _, tracker = learn_all_candidates(inst, samples,
                                           Manthan3Config(), fixed=fixed)
         assert (3, 2) in set(tracker.edges())
+
+
+class TestBitparallelLearning:
+    def _random_setup(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        inst = make([1, 2, 3], {4: [1, 2], 5: [1, 2, 3]}, [[4, 5]])
+        samples = [
+            {v: rng.random() < 0.5 for v in (1, 2, 3, 4, 5)}
+            for _ in range(rng.randint(4, 40))
+        ]
+        return inst, samples
+
+    def test_packed_and_dict_learn_identical_candidates(self):
+        for seed in range(10):
+            inst, samples = self._random_setup(seed)
+            packed, _ = learn_all_candidates(
+                inst, samples, Manthan3Config(bitparallel=True))
+            plain, _ = learn_all_candidates(
+                inst, samples, Manthan3Config(bitparallel=False))
+            # BoolExprs are interned: identical functions are identical
+            # objects.
+            assert packed == plain, seed
+
+    def test_accepts_prepacked_matrix(self):
+        from repro.formula.bitvec import SampleMatrix
+
+        inst, samples = self._random_setup(0)
+        matrix = SampleMatrix.from_models(samples)
+        packed, _ = learn_all_candidates(inst, matrix,
+                                         Manthan3Config(bitparallel=True))
+        plain, _ = learn_all_candidates(inst, samples,
+                                        Manthan3Config(bitparallel=False))
+        assert packed == plain
+
+    def test_learning_stats_recorded(self):
+        inst, samples = self._random_setup(1)
+        stats = {}
+        learn_all_candidates(inst, samples, Manthan3Config(), stats=stats)
+        assert stats["mode"] == "bitparallel"
+        assert stats["trees"] == 2
+        assert stats["bitops"] > 0
+        assert stats["fit_s"] >= 0.0
+        dict_stats = {}
+        learn_all_candidates(inst, samples,
+                             Manthan3Config(bitparallel=False),
+                             stats=dict_stats)
+        assert dict_stats["mode"] == "dict"
+        assert dict_stats["bitops"] == 0

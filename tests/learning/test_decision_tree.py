@@ -113,6 +113,82 @@ class TestInspection:
         assert tree.depth() == 0
 
 
+def same_tree(a, b):
+    """Structural equality: identical splits, leaves, and sample counts."""
+    if a.is_leaf() != b.is_leaf():
+        return False
+    if a.is_leaf():
+        return (a.label == b.label and a.samples == b.samples
+                and a.impurity == b.impurity)
+    return (a.feature == b.feature and a.samples == b.samples
+            and same_tree(a.low, b.low) and same_tree(a.high, b.high))
+
+
+class TestBitsetEquivalence:
+    """``fit_bitset`` must grow the *same* tree as the dict-row ``fit``
+    (split-for-split, under the shared first-best tie-break)."""
+
+    @staticmethod
+    def _fit_both(rows, labels, features, **kwargs):
+        dict_tree = DecisionTree(**kwargs).fit(
+            [dict(r) for r in rows], list(labels), features)
+        columns = {f: 0 for f in features}
+        label_bits = 0
+        for i, row in enumerate(rows):
+            for f in features:
+                if row[f]:
+                    columns[f] |= 1 << i
+            if labels[i]:
+                label_bits |= 1 << i
+        bit_tree = DecisionTree(**kwargs).fit_bitset(
+            columns, label_bits, features, len(rows))
+        return dict_tree, bit_tree
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.data())
+    def test_identical_trees_on_random_matrices(self, data):
+        n_features = data.draw(st.integers(1, 5), label="n_features")
+        n_rows = data.draw(st.integers(0, 24), label="n_rows")
+        features = list(range(10, 10 + n_features))
+        rows = [
+            {f: data.draw(st.integers(0, 1)) for f in features}
+            for _ in range(n_rows)
+        ]
+        labels = [data.draw(st.integers(0, 1)) for _ in range(n_rows)]
+        max_depth = data.draw(st.sampled_from([None, 1, 2, 3]),
+                              label="max_depth")
+        dict_tree, bit_tree = self._fit_both(rows, labels, features,
+                                             max_depth=max_depth)
+        assert same_tree(dict_tree.root, bit_tree.root)
+        assert dict_tree.used_features() == bit_tree.used_features()
+        assert dict_tree.leaf_count() == bit_tree.leaf_count()
+        if rows:
+            assert dict_tree.predict(rows) == bit_tree.predict(rows)
+
+    def test_xor_learned_identically(self):
+        features = [1, 2]
+        rows = [{1: a, 2: b} for a in (0, 1) for b in (0, 1)]
+        labels = [r[1] ^ r[2] for r in rows]
+        dict_tree, bit_tree = self._fit_both(rows, labels, features)
+        assert same_tree(dict_tree.root, bit_tree.root)
+        assert bit_tree.used_features() == {1, 2}
+
+    def test_tie_label_respected(self):
+        rows = [{1: 0}, {1: 0}]
+        for tie in (0, 1):
+            dict_tree, bit_tree = self._fit_both(rows, [0, 1], [1],
+                                                 tie_label=tie)
+            assert bit_tree.root.label == tie
+            assert same_tree(dict_tree.root, bit_tree.root)
+
+    def test_bitops_counted(self):
+        features = [1, 2]
+        rows = [{1: a, 2: b} for a in (0, 1) for b in (0, 1)]
+        labels = [r[1] & r[2] for r in rows]
+        _, bit_tree = self._fit_both(rows, labels, features)
+        assert bit_tree.bitops > 0
+
+
 @settings(max_examples=40, deadline=None)
 @given(st.integers(min_value=0, max_value=255))
 def test_trees_memorize_full_tables_property(truth_bits):

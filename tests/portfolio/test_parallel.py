@@ -69,8 +69,8 @@ class TestRegistry:
 
     def test_registry_covers_cli_choices(self):
         assert set(ENGINE_BUILDERS) == {"manthan3", "manthan3-fresh",
-                                        "expansion", "pedant", "skolem",
-                                        "bdd"}
+                                        "manthan3-rowwise", "expansion",
+                                        "pedant", "skolem", "bdd"}
 
     def test_unknown_engine_raises(self):
         with pytest.raises(ReproError):

@@ -115,3 +115,55 @@ class TestPersistentSolver:
         sampler.draw(6)
         assert sampler._solver.polarity_weights[2] == \
             sampler._weights[2] == 0.9
+
+
+class TestStats:
+    # Pigeonhole PHP(3,2): UNSAT, so any solve *must* conflict.
+    PHP = [[1, 2], [3, 4], [5, 6],
+           [-1, -3], [-1, -5], [-3, -5],
+           [-2, -4], [-2, -6], [-4, -6]]
+
+    def test_both_modes_report_conflicts(self):
+        for incremental in (True, False):
+            sampler = Sampler(CNF(self.PHP), rng=9,
+                              incremental=incremental)
+            models = sampler.draw(3)
+            assert models == []
+            stats = sampler.stats()
+            assert stats["calls"] == 1
+            assert stats["conflicts"] > 0, incremental
+
+    def test_fresh_mode_accumulates_across_solvers(self):
+        sampler = Sampler(CNF(self.PHP), rng=9, incremental=False)
+        sampler.draw(1)
+        first = sampler.stats()["conflicts"]
+        assert first > 0
+        sampler.draw(1)
+        # The second fresh solver's conflicts are banked on top.
+        assert sampler.stats()["conflicts"] > first
+
+    def test_stats_before_any_draw(self):
+        sampler = Sampler(CNF([[1]]), incremental=False)
+        assert sampler.stats() == {"calls": 0, "conflicts": 0}
+
+
+class TestPackedDraw:
+    def test_packed_matches_list_draw(self):
+        cnf = CNF([[1, 2], [-1, 3], [-2, -3]])
+        plain = Sampler(cnf, rng=11).draw(20)
+        packed = Sampler(cnf, rng=11).draw(20, packed=True)
+        assert packed.rows() == plain
+
+    def test_packed_unsat_is_empty_and_falsy(self):
+        cnf = CNF([[1], [-1]])
+        packed = Sampler(cnf, rng=11).draw(5, packed=True)
+        assert len(packed) == 0
+        assert not packed
+
+    def test_packed_weight_adaptation_identical(self):
+        cnf = CNF([[-1, 2]])
+        a = Sampler(cnf, rng=12, weighted_vars=[2], pilot=5)
+        b = Sampler(cnf, rng=12, weighted_vars=[2], pilot=5)
+        a.draw(20)
+        b.draw(20, packed=True)
+        assert a._weights == b._weights
