@@ -1,0 +1,119 @@
+"""PERF — staged-pipeline overhead: Pipeline dispatch vs the PR 3
+monolith.
+
+Runs the planted suite through the staged pipeline
+(:class:`repro.core.Manthan3`) and through the frozen pre-pipeline
+engine (:class:`benchmarks.monolith_baseline.MonolithManthan3`) in the
+same process, and gates the pipeline's wall-time overhead.  The two
+engines are trajectory-equivalent — same statuses, same functions,
+asserted per instance — so the wall-time delta is exactly the cost of
+the pipeline machinery: phase dispatch, per-phase stopwatches, budget
+bookkeeping, and the context indirection.
+
+The summary is written to ``benchmarks/results/pipeline_overhead.json``
+so the repo carries a recorded perf trajectory.  Acceptance gate: ≤5%
+overhead on the planted-suite total.
+
+Knobs (environment variables):
+
+* ``REPRO_BENCH_PIPELINE_REPEATS`` — timing repeats per row (default 3)
+* ``REPRO_BENCH_PIPELINE_TIMEOUT`` — per-run timeout seconds (default 60)
+* ``REPRO_BENCH_PIPELINE_MAX_OVERHEAD`` — overhead ceiling as a
+  fraction (default 0.05; raise on noisy shared runners)
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import RESULTS_DIR
+from benchmarks.monolith_baseline import MonolithManthan3
+from repro.benchgen import generate_planted_instance
+from repro.core import Manthan3, Manthan3Config
+
+MAX_OVERHEAD = 0.05
+
+
+def _suite():
+    return [
+        generate_planted_instance(
+            num_universals=20, num_existentials=4, dep_width=18,
+            region_width=3, rules_per_y=6, seed=101),
+        generate_planted_instance(
+            num_universals=24, num_existentials=5, dep_width=20,
+            region_width=3, rules_per_y=7, seed=102),
+        generate_planted_instance(
+            num_universals=22, num_existentials=4, dep_width=19,
+            region_width=4, rules_per_y=10, seed=103),
+    ]
+
+
+def _repeats():
+    return int(os.environ.get("REPRO_BENCH_PIPELINE_REPEATS", "3"))
+
+
+def _timeout():
+    return float(os.environ.get("REPRO_BENCH_PIPELINE_TIMEOUT", "60"))
+
+
+def _time_engine(engine_cls, instance, repeats, timeout):
+    best = None
+    for _ in range(repeats):
+        engine = engine_cls(Manthan3Config(seed=7))
+        started = time.perf_counter()
+        result = engine.run(instance, timeout=timeout)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def test_pipeline_overhead_vs_monolith():
+    """Time both engines per instance, assert trajectory equivalence,
+    gate the total overhead, and persist the JSON summary."""
+    repeats = _repeats()
+    timeout = _timeout()
+    rows = []
+    staged_total = monolith_total = 0.0
+    for instance in _suite():
+        staged_s, staged = _time_engine(Manthan3, instance, repeats,
+                                        timeout)
+        mono_s, mono = _time_engine(MonolithManthan3, instance, repeats,
+                                    timeout)
+        # Equivalence first: an overhead number only means something if
+        # the two engines did identical work.
+        assert staged.status == mono.status, instance.name
+        assert staged.functions == mono.functions, instance.name
+        rows.append({
+            "instance": instance.name,
+            "staged_s": round(staged_s, 4),
+            "monolith_s": round(mono_s, 4),
+            "status": staged.status,
+            "phases": staged.stats.get("phases"),
+        })
+        staged_total += staged_s
+        monolith_total += mono_s
+
+    overhead = staged_total / monolith_total - 1.0
+    summary = {
+        "benchmark": "pipeline_overhead",
+        "repeats": repeats,
+        "timeout": timeout,
+        "seed": 7,
+        "rows": rows,
+        "staged_s": round(staged_total, 4),
+        "monolith_s": round(monolith_total, 4),
+        "overhead": round(overhead, 4),
+        "gate": MAX_OVERHEAD,
+    }
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "pipeline_overhead.json")
+    with open(path, "w") as handle:
+        json.dump(summary, handle, indent=1, sort_keys=True)
+    print("\n" + json.dumps(summary, indent=1, sort_keys=True))
+
+    ceiling = float(os.environ.get("REPRO_BENCH_PIPELINE_MAX_OVERHEAD",
+                                   str(MAX_OVERHEAD)))
+    assert overhead <= ceiling, \
+        "staged pipeline overhead %.1f%% exceeds %.1f%%" \
+        % (100 * overhead, 100 * ceiling)

@@ -221,6 +221,8 @@ def cmd_run_suite(args):
 
 
 def build_parser():
+    from repro.portfolio import engine_names
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Manthan3 reproduction: Henkin function synthesis "
@@ -230,9 +232,7 @@ def build_parser():
     synth = sub.add_parser("synth", help="synthesize Henkin functions")
     synth.add_argument("file")
     synth.add_argument("--engine", default="manthan3",
-                       choices=["manthan3", "manthan3-fresh",
-                                "manthan3-rowwise", "expansion",
-                                "pedant", "skolem", "bdd"])
+                       choices=engine_names())
     synth.add_argument("--format", default="auto",
                        choices=["auto", "dqdimacs", "qdimacs"])
     synth.add_argument("--output-format", default="infix",
@@ -286,8 +286,9 @@ def build_parser():
                            help="skip (engine, instance) pairs already "
                                 "in --out")
     run_suite.add_argument("--report", default=None,
-                           help="write the evaluation report here "
-                                "instead of stdout")
+                           help="write the evaluation report (incl. the "
+                                "per-phase time breakdown) here instead "
+                                "of stdout")
     run_suite.add_argument("--verbose", action="store_true")
     run_suite.set_defaults(func=cmd_run_suite)
     return parser

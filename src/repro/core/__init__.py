@@ -16,12 +16,19 @@ variables (paper §5, Limitations), which is reported as ``UNKNOWN``.
 """
 
 from repro.core.config import Manthan3Config
+from repro.core.context import Finish, SynthesisContext
 from repro.core.result import SynthesisResult, Status
+from repro.core.pipeline import DEFAULT_PHASE_NAMES, Phase, Pipeline
 from repro.core.engine import Manthan3, synthesize
 
 __all__ = [
+    "DEFAULT_PHASE_NAMES",
+    "Finish",
     "Manthan3",
     "Manthan3Config",
+    "Phase",
+    "Pipeline",
+    "SynthesisContext",
     "SynthesisResult",
     "Status",
     "synthesize",

@@ -26,6 +26,30 @@ from repro.learning.decision_tree import DecisionTree
 from repro.learning.tree_to_formula import tree_to_expr
 
 
+def run_learning(ctx):
+    """Pipeline phase entry: learn all candidates into the context.
+
+    Reaching this phase with no samples means the sample phase was
+    truncated by a sub-budget (a completed draw with zero samples ends
+    the run as FALSE before learning); there is nothing to train on, so
+    the run finishes as TIMEOUT — the context still carries whatever
+    preprocessing fixed, which becomes the anytime partial.
+    """
+    from repro.core.context import Finish
+    from repro.core.result import Status
+
+    if not ctx.samples:
+        return Finish(Status.TIMEOUT,
+                      reason="sampling truncated before any samples "
+                             "were drawn")
+    learn_stats = {}
+    ctx.candidates, ctx.tracker = learn_all_candidates(
+        ctx.instance, ctx.samples, ctx.config, fixed=ctx.fixed,
+        stats=learn_stats)
+    ctx.stats["candidates_learned"] = len(ctx.candidates) - len(ctx.fixed)
+    ctx.stats["learning"] = learn_stats
+
+
 class DependencyTracker:
     """The paper's ``D``, kept as an explicit dependency digraph.
 

@@ -66,6 +66,19 @@ class Manthan3Config:
         sampling solver.  ``False`` falls back to fresh solvers per
         oracle call (the seed behavior) — kept so the equivalence suite
         and the engine-loop benchmark can compare the two paths.
+    phase_budgets:
+        Optional ``{phase_name: seconds}`` wall-clock sub-budgets for
+        individual pipeline phases (see :mod:`repro.core.pipeline`).  A
+        phase's deadline is the *minimum* of its sub-budget and the
+        run's global deadline.  A phase that exhausts only its own
+        budget is truncated (recorded under
+        ``stats["phases_truncated"]``) and the pipeline moves on —
+        accumulated state, statistics, and partial results survive;
+        exhausting the global deadline still yields ``TIMEOUT``.
+    phase_conflict_budgets:
+        Optional ``{phase_name: conflicts}`` per-oracle-call conflict
+        caps that override ``sat_conflict_budget`` inside the named
+        phase only.
     seed:
         RNG seed for sampling/learning tie-breaks.
     """
@@ -89,6 +102,8 @@ class Manthan3Config:
                  sat_conflict_budget=None,
                  bitparallel=True,
                  incremental=True,
+                 phase_budgets=None,
+                 phase_conflict_budgets=None,
                  seed=None):
         self.num_samples = num_samples
         self.adaptive_sampling = adaptive_sampling
@@ -108,6 +123,9 @@ class Manthan3Config:
         self.sat_conflict_budget = sat_conflict_budget
         self.bitparallel = bitparallel
         self.incremental = incremental
+        self.phase_budgets = dict(phase_budgets) if phase_budgets else None
+        self.phase_conflict_budgets = (dict(phase_conflict_budgets)
+                                       if phase_conflict_budgets else None)
         self.seed = seed
 
     def replaced(self, **overrides):

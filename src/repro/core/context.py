@@ -1,0 +1,217 @@
+"""The first-class synthesis context: one object for all run state.
+
+Pre-pipeline, ``Manthan3._run`` threaded 8+ loose locals (rng streams,
+sessions, sampler, candidate dict, tracker, order, repair counters, …)
+through a 150-line monolith; a timeout threw the whole lot away.  The
+:class:`SynthesisContext` makes that state explicit and shared: every
+pipeline phase (:mod:`repro.core.pipeline`) reads and writes the same
+context, so budgets can interrupt any phase without losing what earlier
+phases accumulated — accumulated statistics and the best-so-far
+candidate vector survive into the final :class:`SynthesisResult` as
+anytime partials.
+
+The context also owns the run's RNG discipline.  ``spawn`` consumes
+parent-RNG state, so the *sequence* of ``ctx.spawn(salt)`` calls is part
+of the engine's trajectory contract: the staged pipeline issues exactly
+the spawns of the pre-pipeline monolith (sampler = 1, preprocess = 2,
+verify = 100+iteration, repair = 200+iteration, oracle sessions from the
+separate ``oracle_rng`` stream), which is what makes the two
+trajectory-equivalent — same statuses *and* same functions.
+"""
+
+from repro.core.config import Manthan3Config
+from repro.utils.rng import make_rng, spawn
+from repro.utils.timer import Deadline, Stopwatch
+
+__all__ = ["Finish", "SynthesisContext"]
+
+
+class Finish:
+    """Terminal outcome returned by a pipeline phase.
+
+    A phase returns ``None`` to hand the context to the next phase, or a
+    ``Finish`` to end the run; the pipeline turns the ``Finish`` into a
+    :class:`~repro.core.result.SynthesisResult` with the context's
+    accumulated stats (and anytime partials for TIMEOUT/UNKNOWN).
+    """
+
+    __slots__ = ("status", "functions", "reason", "witness")
+
+    def __init__(self, status, functions=None, reason="", witness=None):
+        self.status = status
+        self.functions = functions
+        self.reason = reason
+        self.witness = witness
+
+    def __repr__(self):
+        return "Finish(%s)" % self.status
+
+
+class SynthesisContext:
+    """All mutable state of one Manthan3 run.
+
+    Attributes
+    ----------
+    instance / config:
+        The DQBF under synthesis and the engine configuration.
+    run_deadline / deadline:
+        ``run_deadline`` is the whole-run wall-clock budget;
+        ``deadline`` is the *active* deadline phases must honor — the
+        pipeline swaps in a tighter sub-deadline while a phase with a
+        ``config.phase_budgets`` entry runs, and restores the global one
+        after.
+    active_config:
+        ``config``, or a per-phase copy with ``sat_conflict_budget``
+        overridden by ``config.phase_conflict_budgets``.  Phase code
+        passes this (not ``config``) to conflict-budgeted kernels.
+    rng / oracle_rng:
+        The run's root RNG and the oracle-session stream.  The oracle
+        stream is drawn unconditionally at construction so the
+        sampler/preprocess/loop streams are identical whether or not
+        sessions are built.
+    stats:
+        The accumulated statistics dict — lives on the context (not in
+        a phase) precisely so budget exhaustion cannot drop it.
+    matrix_session / verifier_session / sessions / sampler / samples:
+        Oracle state: the persistent solvers (``None`` on the fresh
+        path), and the drawn sample set (a list of model dicts or a
+        packed :class:`~repro.formula.bitvec.SampleMatrix`).
+    fixed:
+        Preprocessing's final functions (``{y: BoolExpr}``).
+    candidates / tracker / order:
+        The learner's candidate vector, the dependency bookkeeping
+        ``D``, and the current total order.
+    cex_matrix / repair_counts / non_repairable / stagnation / iteration:
+        Verify–repair loop state: the batched counterexample matrix,
+        per-candidate repair counts, retired candidates (preprocessing
+        fixed + self-substituted), the stagnation counter, and the
+        current loop iteration (which seeds the per-iteration RNG
+        spawns).
+    """
+
+    def __init__(self, instance, config=None, deadline=None):
+        self.instance = instance
+        self.config = config or Manthan3Config()
+        self.run_deadline = deadline or Deadline(None)
+        self.deadline = self.run_deadline
+        self.active_config = self.config
+        self.stopwatch = Stopwatch()
+        self.rng = make_rng(self.config.seed)
+        # Drawn unconditionally so the sampler/preprocess/loop streams
+        # below are identical whether or not sessions are built — the
+        # incremental and fresh paths then diverge only where solver
+        # persistence itself makes them diverge.
+        self.oracle_rng = spawn(self.rng, 5)
+        self.stats = {"samples": 0, "repair_iterations": 0,
+                      "candidates_learned": 0}
+        self.matrix_session = None
+        self.verifier_session = None
+        self.sessions = []
+        self.sampler = None
+        self.samples = None
+        self.fixed = {}
+        self.candidates = None
+        self.tracker = None
+        self.order = None
+        self.cex_matrix = None
+        self.repair_counts = {}
+        self.non_repairable = None
+        self.stagnation = 0
+        self.iteration = 0
+
+    # ------------------------------------------------------------------
+    # rng discipline
+    # ------------------------------------------------------------------
+    def spawn(self, salt):
+        """Spawn a child RNG off the run's root stream.
+
+        Consumes root-RNG state — call sites and their order are part of
+        the trajectory contract (see the module docstring).
+        """
+        return spawn(self.rng, salt)
+
+    # ------------------------------------------------------------------
+    # per-phase budgets (driven by the pipeline)
+    # ------------------------------------------------------------------
+    @property
+    def conflict_budget(self):
+        """The conflict cap phases pass to individual oracle calls."""
+        return self.active_config.sat_conflict_budget
+
+    def enter_phase(self, name):
+        """Install the named phase's sub-budgets; returns whether any
+        per-phase budget is active (the pipeline uses that to tell a
+        phase-local exhaustion from a global one)."""
+        config = self.config
+        seconds = (config.phase_budgets or {}).get(name)
+        conflicts = (config.phase_conflict_budgets or {}).get(name)
+        self.deadline = (self.run_deadline if seconds is None
+                         else self.run_deadline.sub(seconds))
+        self.active_config = (config if conflicts is None
+                              else config.replaced(
+                                  sat_conflict_budget=conflicts))
+        return seconds is not None or conflicts is not None
+
+    def exit_phase(self):
+        """Restore the global deadline and configuration."""
+        self.deadline = self.run_deadline
+        self.active_config = self.config
+
+    # ------------------------------------------------------------------
+    # anytime partials
+    # ------------------------------------------------------------------
+    def final_outputs(self):
+        """Outputs whose functions are final: preprocessing-fixed plus
+        self-substitution retirees."""
+        if self.non_repairable is not None:
+            return set(self.non_repairable)
+        return set(self.fixed)
+
+    def partial_snapshot(self):
+        """``(functions, verified)`` for an anytime partial result.
+
+        ``functions`` is the best-so-far candidate vector grounded to
+        universal variables — in the same form as a SYNTHESIZED result's
+        ``functions``.  A snapshot taken before learning finished may be
+        *partial* in the second sense too: entries whose grounding
+        references a still-missing output are dropped rather than
+        invented.  Returns ``(None, None)`` when no candidate exists at
+        all.  ``verified`` counts the known-final entries.
+        """
+        candidates = self.candidates
+        if candidates is None:
+            candidates = dict(self.fixed)
+        functions = self._ground_available(candidates)
+        if not functions:
+            return None, None
+        verified = len(self.final_outputs() & set(functions))
+        return functions, verified
+
+    def _ground_available(self, candidates):
+        """Ground every entry whose Y-references resolve within the
+        dict (bottom-up fixpoint); drop the rest.
+
+        Unlike :func:`~repro.core.order.substitute_candidates` this
+        tolerates incomplete vectors — a timeout can strike mid-run —
+        and silently drops entries that would not certify structurally
+        (out-of-dependency support), since a best-effort snapshot must
+        never raise.
+        """
+        y_set = set(self.instance.existentials)
+        final = {}
+        pending = dict(candidates)
+        progressed = True
+        while pending and progressed:
+            progressed = False
+            for y in sorted(pending):
+                expr = pending[y]
+                refs = expr.support() & y_set
+                if not refs <= set(final):
+                    continue
+                del pending[y]
+                progressed = True
+                if refs:
+                    expr = expr.substitute({r: final[r] for r in refs})
+                if expr.support() <= self.instance.dependencies[y]:
+                    final[y] = expr
+        return final

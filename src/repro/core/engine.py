@@ -1,23 +1,28 @@
-"""The Manthan3 engine: Algorithm 1 end to end."""
+"""The Manthan3 engine: Algorithm 1 end to end.
 
-from repro.core.candidates import learn_all_candidates
+Since the staged-pipeline refactor this module is thin: ``Manthan3``
+owns a :class:`~repro.core.pipeline.Pipeline` (the paper's phase
+sequence by default, any phase list for ablation variants) and each
+``run()`` executes it over a fresh
+:class:`~repro.core.context.SynthesisContext`.  Budget handling,
+per-phase timing, and anytime partial results all live at the pipeline
+layer.
+"""
+
 from repro.core.config import Manthan3Config
-from repro.formula.bitvec import SampleMatrix
-from repro.core.order import find_order, substitute_candidates
-from repro.core.preprocess import preprocess
-from repro.core.repair import repair_iteration
-from repro.core.result import SynthesisResult, Status
-from repro.core.selfsub import self_substitute
-from repro.core.sessions import MatrixSession, VerifierSession
-from repro.core.verifier import verify_candidates
-from repro.sampling import Sampler
-from repro.utils.errors import ResourceBudgetExceeded
-from repro.utils.rng import make_rng, spawn
-from repro.utils.timer import Deadline, Stopwatch
+from repro.core.context import SynthesisContext
+from repro.core.pipeline import Pipeline
+from repro.utils.errors import ReproError
+from repro.utils.timer import Deadline
 
 
 class Manthan3:
     """Data-driven Henkin function synthesis (paper Algorithm 1).
+
+    ``phases`` (a sequence of phase names or
+    :class:`~repro.core.pipeline.Phase` objects, default the full
+    Algorithm 1 list) selects which pipeline stages run — structural
+    ablations like ``manthan3-nopre`` are just a shorter list.
 
     >>> from repro.parsing import parse_dqdimacs
     >>> inst = parse_dqdimacs('''p cnf 3 2
@@ -34,183 +39,32 @@ class Manthan3:
 
     name = "manthan3"
 
-    def __init__(self, config=None):
+    def __init__(self, config=None, phases=None):
         self.config = config or Manthan3Config()
+        self.pipeline = Pipeline(phases)
+        self._check_budget_keys()
+
+    def _check_budget_keys(self):
+        """Reject budgets for phases this pipeline will never run."""
+        known = set(self.pipeline.phase_names())
+        for field in ("phase_budgets", "phase_conflict_budgets"):
+            for name in (getattr(self.config, field) or {}):
+                if name not in known:
+                    raise ReproError(
+                        "%s names unknown phase %r (this pipeline runs "
+                        "%s)" % (field, name,
+                                 ", ".join(self.pipeline.phase_names())))
 
     def run(self, instance, timeout=None):
         """Synthesize Henkin functions for ``instance``.
 
         ``timeout`` (seconds) bounds the whole run; budget exhaustion
-        yields ``Status.TIMEOUT``.
+        yields ``Status.TIMEOUT`` carrying the accumulated stats and
+        the best-so-far candidates as anytime partials.
         """
-        deadline = Deadline(timeout)
-        stopwatch = Stopwatch().start()
-        try:
-            return self._run(instance, deadline, stopwatch)
-        except ResourceBudgetExceeded:
-            return SynthesisResult(
-                Status.TIMEOUT,
-                stats={"wall_time": stopwatch.stop()},
-                reason="budget exhausted")
-
-    # ------------------------------------------------------------------
-    def _run(self, instance, deadline, stopwatch):
-        config = self.config
-        rng = make_rng(config.seed)
-        # Drawn unconditionally so the sampler/preprocess/loop streams
-        # below are identical whether or not sessions are built — the
-        # incremental and fresh paths then diverge only where solver
-        # persistence itself makes them diverge.
-        oracle_rng = spawn(rng, 5)
-        stats = {"samples": 0, "repair_iterations": 0,
-                 "candidates_learned": 0}
-
-        # Fast path: if unit propagation on ϕ alone forces a universal
-        # variable, flipping that variable yields an inextensible X
-        # assignment — the instance is False with a checkable witness.
-        from repro.formula.simplify import propagate_units
-
-        units = {}
-        _, up_conflict = propagate_units(list(instance.matrix.clauses),
-                                         units)
-        if up_conflict:
-            return self._finish(Status.FALSE, stats, stopwatch,
-                                reason="matrix is unsatisfiable")
-        for x in instance.universals:
-            if x in units:
-                witness = {u: False for u in instance.universals}
-                witness[x] = not units[x]
-                return self._finish(
-                    Status.FALSE, stats, stopwatch,
-                    reason="matrix forces universal x%d" % x,
-                    witness=witness)
-
-        # Oracle sessions: one persistent solver per oracle for the
-        # whole run (config.incremental=False falls back to fresh
-        # solvers per call).  Built before sampling so every oracle
-        # below — sampler included — is session-backed.
-        matrix_session = None
-        verifier_session = None
-        sessions = []
-        if config.incremental:
-            matrix_session = MatrixSession(instance.matrix,
-                                           rng=spawn(oracle_rng, 1))
-            verifier_session = VerifierSession(instance,
-                                               rng=spawn(oracle_rng, 2))
-            sessions = [("matrix", matrix_session),
-                        ("verifier", verifier_session)]
-
-        def finish(status, **kwargs):
-            if config.incremental:
-                oracle = {name: session.stats()
-                          for name, session in sessions}
-                oracle["sampler"] = sampler.stats()
-                stats["oracle"] = oracle
-            return self._finish(status, stats, stopwatch, **kwargs)
-
-        # Data generation (Algorithm 1, line 1).  With bitparallel the
-        # draw packs straight into a column-major SampleMatrix — the
-        # learner never sees a per-sample dict.
-        weighted = instance.existentials if config.adaptive_sampling else ()
-        sampler = Sampler(instance.matrix, rng=spawn(rng, 1),
-                          weighted_vars=weighted,
-                          incremental=config.incremental)
-        samples = sampler.draw(config.num_samples, deadline=deadline,
-                               conflict_budget=config.sat_conflict_budget,
-                               packed=config.bitparallel)
-        stats["samples"] = len(samples)
-        if not samples:
-            # ϕ itself is unsatisfiable: no X has a Y extension.
-            return finish(Status.FALSE,
-                          reason="matrix is unsatisfiable")
-
-        # Preprocessing (unates + unique definitions).  The unate pass
-        # runs on the matrix session, which retires its dual-rail
-        # clauses before the loop starts.
-        pre = preprocess(instance, config, deadline=deadline,
-                         rng=spawn(rng, 2), matrix_session=matrix_session)
-        stats.update({"fixed_" + k: v for k, v in pre.stats.items()})
-
-        # Candidate learning (lines 2–7).
-        learn_stats = {}
-        candidates, tracker = learn_all_candidates(instance, samples, config,
-                                                   fixed=pre.fixed,
-                                                   stats=learn_stats)
-        stats["candidates_learned"] = (len(candidates) - len(pre.fixed))
-        stats["learning"] = learn_stats
-
-        # FindOrder (line 8).
-        order = find_order(instance, tracker)
-
-        # Verify–repair loop (lines 9–18).  The counterexample matrix
-        # batches every σ[X] seen so far; repair's candidate-vector
-        # evaluations sweep the whole batch bit-parallel.  Its width is
-        # bounded by max_repair_iterations (default 400 rows ≈ 7 machine
-        # words per column), so the widening sweeps stay cheap.
-        cex_matrix = SampleMatrix(instance.universals) \
-            if config.bitparallel else None
-        stagnation = 0
-        repair_counts = {}
-        non_repairable = dict(pre.fixed)
-        stats["self_substitutions"] = 0
-        for iteration in range(config.max_repair_iterations + 1):
-            deadline.check()
-            outcome = verify_candidates(
-                instance, candidates, rng=spawn(rng, 100 + iteration),
-                deadline=deadline,
-                conflict_budget=config.sat_conflict_budget,
-                session=verifier_session, matrix_session=matrix_session)
-            if outcome.verdict == "VALID":
-                final = substitute_candidates(instance, candidates, order)
-                stats["repair_iterations"] = iteration
-                return finish(Status.SYNTHESIZED, functions=final)
-            if outcome.verdict == "FALSE":
-                stats["repair_iterations"] = iteration
-                return finish(
-                    Status.FALSE,
-                    reason="X assignment admits no Y extension",
-                    witness=outcome.sigma_x)
-            if iteration == config.max_repair_iterations:
-                break
-            modified = repair_iteration(
-                instance, candidates, tracker, order, outcome.sigma_x,
-                config, fixed=non_repairable,
-                rng=spawn(rng, 200 + iteration),
-                deadline=deadline, repair_counts=repair_counts,
-                matrix_session=matrix_session, cex_matrix=cex_matrix)
-            # Manthan2-style fallback: a candidate repaired too often is
-            # replaced by its self-substitution and retired from repair.
-            if config.use_self_substitution:
-                for yk, count in list(repair_counts.items()):
-                    if count <= config.self_substitution_threshold or \
-                            yk in non_repairable:
-                        continue
-                    applied = self_substitute(
-                        instance, candidates, tracker, yk,
-                        max_dag_size=config.self_substitution_max_dag)
-                    if applied:
-                        non_repairable[yk] = candidates[yk]
-                        stats["self_substitutions"] += 1
-                        # New edges may invalidate the old total order.
-                        order = find_order(instance, tracker)
-            if modified == 0:
-                stagnation += 1
-                if stagnation >= config.stagnation_limit:
-                    stats["repair_iterations"] = iteration + 1
-                    return finish(
-                        Status.UNKNOWN,
-                        reason="repair stagnated (incompleteness, paper §5)")
-            else:
-                stagnation = 0
-        stats["repair_iterations"] = config.max_repair_iterations
-        return finish(Status.UNKNOWN,
-                      reason="repair iteration budget exhausted")
-
-    def _finish(self, status, stats, stopwatch, functions=None, reason="",
-                witness=None):
-        stats["wall_time"] = stopwatch.stop()
-        return SynthesisResult(status, functions=functions, stats=stats,
-                               reason=reason, witness=witness)
+        ctx = SynthesisContext(instance, self.config,
+                               deadline=Deadline(timeout))
+        return self.pipeline.execute(ctx)
 
 
 def synthesize(instance, config=None, timeout=None):

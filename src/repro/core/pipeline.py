@@ -1,0 +1,287 @@
+"""The staged synthesis pipeline: Algorithm 1 as composable phases.
+
+The paper's Algorithm 1 is a staged loop — sample, preprocess, learn,
+order, verify/repair.  This module makes each stage a first-class
+:class:`Phase` with a uniform ``run(ctx) -> None | Finish`` signature
+over a shared :class:`~repro.core.context.SynthesisContext`, and a
+:class:`Pipeline` that executes a phase list with:
+
+* **per-phase timing** — every phase's wall time is recorded under
+  ``stats["phases"]``, whatever the verdict;
+* **per-phase sub-budgets** — ``config.phase_budgets`` /
+  ``config.phase_conflict_budgets`` bound individual phases; a phase
+  that exhausts only its own budget is *truncated* (recorded under
+  ``stats["phases_truncated"]``) and the pipeline continues, while
+  global-deadline exhaustion ends the run as ``TIMEOUT``;
+* **anytime partials** — ``TIMEOUT``/``UNKNOWN`` results carry the
+  context's accumulated stats and the best-so-far candidate vector
+  (:attr:`~repro.core.result.SynthesisResult.partial_functions`)
+  instead of an empty shell;
+* **structural ablation** — an engine variant is a phase list plus
+  config overrides (see ``ENGINE_SPECS`` in
+  :mod:`repro.portfolio.parallel`), not a code fork: e.g.
+  ``manthan3-nopre`` is the default list minus ``"preprocess"``.
+
+The default phase list reproduces the pre-pipeline monolith
+trajectory-for-trajectory: same RNG spawn sequence, same oracle calls,
+same statuses *and* functions (asserted by
+``tests/core/test_pipeline.py`` against the frozen baseline in
+``benchmarks/monolith_baseline.py``).
+"""
+
+from repro.core.candidates import run_learning
+from repro.core.context import Finish
+from repro.core.order import run_find_order, substitute_candidates
+from repro.core.preprocess import run_preprocess
+from repro.core.repair import run_repair
+from repro.core.result import Status, SynthesisResult
+from repro.core.selfsub import run_self_substitution
+from repro.core.sessions import build_sessions
+from repro.core.verifier import run_verify
+from repro.formula.bitvec import SampleMatrix
+from repro.formula.simplify import propagate_units
+from repro.sampling import Sampler
+from repro.utils.errors import ReproError, ResourceBudgetExceeded
+from repro.utils.timer import Stopwatch
+
+__all__ = ["DEFAULT_PHASE_NAMES", "PHASES", "Phase", "Pipeline"]
+
+
+class Phase:
+    """One named pipeline stage.
+
+    ``run(ctx)`` mutates the shared context and returns ``None`` to
+    continue or a :class:`~repro.core.context.Finish` to end the run.
+    """
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name, fn):
+        self.name = name
+        self.fn = fn
+
+    def run(self, ctx):
+        return self.fn(ctx)
+
+    def __repr__(self):
+        return "Phase(%s)" % self.name
+
+
+#: name -> :class:`Phase`, populated by the ``@_phase`` definitions
+#: below.  Pipeline specs refer to phases by these names.
+PHASES = {}
+
+
+def _phase(name):
+    def register(fn):
+        PHASES[name] = Phase(name, fn)
+        return fn
+    return register
+
+
+# ----------------------------------------------------------------------
+# the phases of Algorithm 1
+# ----------------------------------------------------------------------
+@_phase("unit_fastpath")
+def unit_fastpath(ctx):
+    """Fast path: if unit propagation on ϕ alone forces a universal
+    variable, flipping that variable yields an inextensible X
+    assignment — the instance is False with a checkable witness."""
+    instance = ctx.instance
+    units = {}
+    _, up_conflict = propagate_units(list(instance.matrix.clauses), units)
+    if up_conflict:
+        return Finish(Status.FALSE, reason="matrix is unsatisfiable")
+    for x in instance.universals:
+        if x in units:
+            witness = {u: False for u in instance.universals}
+            witness[x] = not units[x]
+            return Finish(Status.FALSE,
+                          reason="matrix forces universal x%d" % x,
+                          witness=witness)
+
+
+@_phase("sample")
+def sample(ctx):
+    """Data generation (Algorithm 1, line 1).
+
+    Builds the oracle sessions first — so every oracle from here on,
+    sampler included, is session-backed — then draws the training set.
+    With bitparallel the draw packs straight into a column-major
+    :class:`SampleMatrix`; the learner never sees a per-sample dict.
+    """
+    build_sessions(ctx)
+    config = ctx.config
+    weighted = ctx.instance.existentials if config.adaptive_sampling else ()
+    ctx.sampler = Sampler(ctx.instance.matrix, rng=ctx.spawn(1),
+                          weighted_vars=weighted,
+                          incremental=config.incremental)
+    ctx.samples = ctx.sampler.draw(config.num_samples,
+                                   deadline=ctx.deadline,
+                                   conflict_budget=ctx.conflict_budget,
+                                   packed=config.bitparallel)
+    ctx.stats["samples"] = len(ctx.samples)
+    if not ctx.samples:
+        # ϕ itself is unsatisfiable: no X has a Y extension.
+        return Finish(Status.FALSE, reason="matrix is unsatisfiable")
+
+
+_phase("preprocess")(run_preprocess)
+_phase("learn")(run_learning)
+_phase("order")(run_find_order)
+
+
+@_phase("verify_repair")
+def verify_repair(ctx):
+    """The verify–repair loop (Algorithm 1, lines 9–18).
+
+    The counterexample matrix batches every σ[X] seen so far; repair's
+    candidate-vector evaluations sweep the whole batch bit-parallel.
+    Its width is bounded by max_repair_iterations (default 400 rows ≈ 7
+    machine words per column), so the widening sweeps stay cheap.
+    """
+    instance, config = ctx.instance, ctx.config
+    if ctx.candidates is None or ctx.order is None:
+        # An upstream phase (learn/order) was truncated by a sub-budget:
+        # there is nothing verifiable to loop over.
+        return Finish(Status.TIMEOUT,
+                      reason="pipeline truncated before the "
+                             "verify-repair loop")
+    ctx.cex_matrix = SampleMatrix(instance.universals) \
+        if config.bitparallel else None
+    ctx.stagnation = 0
+    ctx.repair_counts = {}
+    ctx.non_repairable = dict(ctx.fixed)
+    ctx.stats["self_substitutions"] = 0
+    for iteration in range(config.max_repair_iterations + 1):
+        ctx.iteration = iteration
+        # Kept current every pass so a budget that strikes mid-loop
+        # still reports how far repair got (the verdict exits below
+        # overwrite it with the same value).
+        ctx.stats["repair_iterations"] = iteration
+        ctx.deadline.check()
+        outcome = run_verify(ctx)
+        if outcome.verdict == "VALID":
+            final = substitute_candidates(instance, ctx.candidates,
+                                          ctx.order)
+            ctx.stats["repair_iterations"] = iteration
+            return Finish(Status.SYNTHESIZED, functions=final)
+        if outcome.verdict == "FALSE":
+            ctx.stats["repair_iterations"] = iteration
+            return Finish(Status.FALSE,
+                          reason="X assignment admits no Y extension",
+                          witness=outcome.sigma_x)
+        if iteration == config.max_repair_iterations:
+            break
+        modified = run_repair(ctx, outcome.sigma_x)
+        # Manthan2-style fallback: a candidate repaired too often is
+        # replaced by its self-substitution and retired from repair.
+        if config.use_self_substitution:
+            run_self_substitution(ctx)
+        if modified == 0:
+            ctx.stagnation += 1
+            if ctx.stagnation >= config.stagnation_limit:
+                ctx.stats["repair_iterations"] = iteration + 1
+                return Finish(
+                    Status.UNKNOWN,
+                    reason="repair stagnated (incompleteness, paper §5)")
+        else:
+            ctx.stagnation = 0
+    ctx.stats["repair_iterations"] = config.max_repair_iterations
+    return Finish(Status.UNKNOWN,
+                  reason="repair iteration budget exhausted")
+
+
+#: The paper's Algorithm 1, staged.
+DEFAULT_PHASE_NAMES = ("unit_fastpath", "sample", "preprocess", "learn",
+                       "order", "verify_repair")
+
+
+class Pipeline:
+    """Execute a phase list over a shared synthesis context."""
+
+    def __init__(self, phases=None):
+        names = DEFAULT_PHASE_NAMES if phases is None else phases
+        self.phases = []
+        for entry in names:
+            if isinstance(entry, Phase):
+                self.phases.append(entry)
+            elif entry in PHASES:
+                self.phases.append(PHASES[entry])
+            else:
+                raise ReproError(
+                    "unknown pipeline phase %r (choose from %s)"
+                    % (entry, ", ".join(sorted(PHASES))))
+
+    def phase_names(self):
+        return tuple(phase.name for phase in self.phases)
+
+    def execute(self, ctx):
+        """Run the phases; always returns a :class:`SynthesisResult`.
+
+        ``ResourceBudgetExceeded`` is handled *here*, at the pipeline
+        layer: a phase sub-budget truncates the phase and moves on, the
+        global deadline finishes the run as ``TIMEOUT`` — in both cases
+        with the context's accumulated stats and anytime partials
+        intact.
+        """
+        ctx.stopwatch.start()
+        timings = ctx.stats.setdefault("phases", {})
+        finish = None
+        for phase in self.phases:
+            bounded = ctx.enter_phase(phase.name)
+            watch = Stopwatch().start()
+            try:
+                if bounded and ctx.deadline.expired() \
+                        and not ctx.run_deadline.expired():
+                    raise ResourceBudgetExceeded(
+                        "phase %r budget pre-exhausted" % phase.name)
+                outcome = phase.run(ctx)
+            except ResourceBudgetExceeded:
+                if bounded and not ctx.run_deadline.expired():
+                    # Only this phase's sub-budget died: truncate it and
+                    # keep going with whatever it accumulated.
+                    ctx.stats.setdefault("phases_truncated",
+                                         []).append(phase.name)
+                    outcome = None
+                else:
+                    outcome = Finish(Status.TIMEOUT,
+                                     reason="budget exhausted")
+            finally:
+                elapsed = timings.get(phase.name, 0.0) + watch.stop()
+                timings[phase.name] = round(elapsed, 6)
+            if isinstance(outcome, Finish):
+                finish = outcome
+                break
+        ctx.exit_phase()
+        if finish is None:
+            if ctx.stats.get("phases_truncated"):
+                finish = Finish(Status.TIMEOUT,
+                                reason="phase budgets exhausted before "
+                                       "a verdict")
+            else:
+                finish = Finish(Status.UNKNOWN,
+                                reason="pipeline ended without a verdict")
+        return self._result(ctx, finish)
+
+    @staticmethod
+    def _result(ctx, finish):
+        stats = ctx.stats
+        stats["wall_time"] = ctx.stopwatch.stop()
+        if ctx.sessions:
+            oracle = {name: session.stats()
+                      for name, session in ctx.sessions}
+            if ctx.sampler is not None:
+                oracle["sampler"] = ctx.sampler.stats()
+            stats["oracle"] = oracle
+        result = SynthesisResult(finish.status, functions=finish.functions,
+                                 stats=stats, reason=finish.reason,
+                                 witness=finish.witness)
+        if finish.status in (Status.TIMEOUT, Status.UNKNOWN):
+            partials, verified = ctx.partial_snapshot()
+            result.partial_functions = partials
+            result.partial_verified = verified
+            if partials is not None:
+                stats["partial"] = {"functions": len(partials),
+                                    "verified": verified}
+        return result

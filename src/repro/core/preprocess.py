@@ -20,6 +20,29 @@ from repro.definability.padoa import is_uniquely_defined, extract_definition
 from repro.formula.cnf import CNF
 from repro.formula.tseitin import TseitinEncoder, negated_cnf_expr
 from repro.sat.solver import Solver, SAT, UNSAT
+from repro.utils.rng import spawn
+
+
+def run_preprocess(ctx):
+    """Pipeline phase entry: preprocess against the synthesis context.
+
+    Fixes what preprocessing can (``ctx.fixed``) and records the
+    per-mechanism counts under ``fixed_*`` stats keys.  Honors the
+    context's active (possibly phase-scoped) deadline and conflict
+    budget.  The kernel fills the accumulators *in place*, so a budget
+    that strikes mid-pass still leaves everything fixed so far on the
+    context — a truncated phase loses nothing it accumulated.
+    """
+    fixed = {}
+    stats = {}
+    try:
+        preprocess(ctx.instance, ctx.active_config,
+                   deadline=ctx.deadline, rng=spawn(ctx.rng, 2),
+                   matrix_session=ctx.matrix_session,
+                   fixed=fixed, stats=stats)
+    finally:
+        ctx.fixed = fixed
+        ctx.stats.update({"fixed_" + k: v for k, v in stats.items()})
 
 
 class PreprocessOutcome:
@@ -36,7 +59,7 @@ class PreprocessOutcome:
 
 
 def detect_unates(instance, deadline=None, conflict_budget=None, rng=None,
-                  matrix_session=None):
+                  matrix_session=None, out=None):
     """Find unate existentials; returns ``{y: TRUE|FALSE}``.
 
     ``yi`` is positive unate iff ``ϕ|_{yi=0} ∧ ¬ϕ|_{yi=1}`` is UNSAT —
@@ -49,9 +72,13 @@ def detect_unates(instance, deadline=None, conflict_budget=None, rng=None,
     stands in for the cofactor construction), and fixed values are
     committed as permanent units — the session-side equivalent of the
     working copy.
+
+    ``out`` (a dict) is an optional in-place accumulator: unates found
+    before a SAT call exhausts its budget survive the unwind, which is
+    what lets a phase-budgeted pipeline keep a truncated pass's work.
     """
     working = None if matrix_session is not None else instance.matrix.copy()
-    fixed = {}
+    fixed = {} if out is None else out
     for y in instance.existentials:
         if deadline is not None and deadline.expired():
             break
@@ -92,7 +119,8 @@ def _is_unate(matrix, y, positive, deadline=None, conflict_budget=None,
 
 
 def extract_unique_functions(instance, skip=(), max_table_bits=8,
-                             deadline=None, conflict_budget=None, rng=None):
+                             deadline=None, conflict_budget=None, rng=None,
+                             out=None, stats=None):
     """Definitions for uniquely defined existentials (gates, then Padoa).
 
     Gate definitions may reference other existential variables (Tseitin
@@ -102,9 +130,15 @@ def extract_unique_functions(instance, skip=(), max_table_bits=8,
     ``yj`` with ``Hj ⊆ Hy`` (the final substitution grounds it out).
     Mutually-referencing definitions are left to the learner, which keeps
     the accepted set acyclic by construction.
+
+    ``out`` / ``stats`` are optional in-place accumulators (see
+    :func:`detect_unates`): definitions accepted before a budget
+    exhausts survive the unwind.
     """
-    fixed = {}
-    stats = {"gates": 0, "padoa": 0}
+    fixed = {} if out is None else out
+    stats = {"gates": 0, "padoa": 0} if stats is None else stats
+    stats.setdefault("gates", 0)
+    stats.setdefault("padoa", 0)
     skip = set(skip)
 
     candidates_set = set(instance.existentials) - skip
@@ -169,32 +203,54 @@ def extract_unique_functions(instance, skip=(), max_table_bits=8,
 
 
 def preprocess(instance, config, deadline=None, rng=None,
-               matrix_session=None):
+               matrix_session=None, fixed=None, stats=None):
     """Run the configured preprocessing passes; returns
     :class:`PreprocessOutcome`.
 
     ``matrix_session`` routes the unate checks through the engine's
     persistent ϕ-solver; its dual-rail apparatus is retired here, the
-    moment the unate pass ends, so the verify–repair loop never carries
-    those clauses.
+    moment the unate pass ends — even when that pass unwinds on an
+    exhausted budget — so the verify–repair loop never carries those
+    clauses.
+
+    ``fixed`` / ``stats`` are optional in-place accumulators: when a
+    SAT call exhausts its budget mid-pass, everything fixed up to that
+    point is already merged into them before the exception propagates
+    (the staged pipeline's phase truncation relies on this).
     """
-    fixed = {}
-    stats = {"unates": 0, "gates": 0, "padoa": 0}
+    fixed = {} if fixed is None else fixed
+    stats = {} if stats is None else stats
+    for key in ("unates", "gates", "padoa"):
+        stats.setdefault(key, 0)
     if config.use_unate_detection:
-        unates = detect_unates(instance, deadline=deadline,
-                               conflict_budget=config.sat_conflict_budget,
-                               rng=rng, matrix_session=matrix_session)
-        fixed.update(unates)
-        stats["unates"] = len(unates)
-    if matrix_session is not None:
+        unates = {}
+        try:
+            detect_unates(instance, deadline=deadline,
+                          conflict_budget=config.sat_conflict_budget,
+                          rng=rng, matrix_session=matrix_session,
+                          out=unates)
+        finally:
+            fixed.update(unates)
+            stats["unates"] = len(unates)
+            if matrix_session is not None:
+                matrix_session.retire_dual()
+    elif matrix_session is not None:
         matrix_session.retire_dual()
     if config.use_unique_extraction:
-        unique, unique_stats = extract_unique_functions(
-            instance, skip=fixed,
-            max_table_bits=config.max_unique_table_bits,
-            deadline=deadline, conflict_budget=config.sat_conflict_budget,
-            rng=rng)
-        fixed.update(unique)
-        stats["gates"] = unique_stats["gates"]
-        stats["padoa"] = unique_stats["padoa"]
+        # The unique pass gets its own accumulator: ``input_ok`` treats
+        # membership in its dict as "accepted definition", which must
+        # not include the unate constants.
+        unique = {}
+        unique_stats = {}
+        try:
+            extract_unique_functions(
+                instance, skip=fixed,
+                max_table_bits=config.max_unique_table_bits,
+                deadline=deadline,
+                conflict_budget=config.sat_conflict_budget,
+                rng=rng, out=unique, stats=unique_stats)
+        finally:
+            fixed.update(unique)
+            stats["gates"] = unique_stats.get("gates", 0)
+            stats["padoa"] = unique_stats.get("padoa", 0)
     return PreprocessOutcome(fixed, stats)

@@ -32,6 +32,25 @@ from repro.formula.bitvec import evaluate_vector_bits, refresh_vector_bits
 from repro.maxsat import solve_maxsat
 from repro.sat.solver import Solver, SAT, UNSAT
 from repro.utils.errors import ResourceBudgetExceeded
+from repro.utils.rng import spawn
+
+
+def run_repair(ctx, sigma_x):
+    """Pipeline entry: process one counterexample against the context.
+
+    Spawns the per-iteration RNG stream (salt ``200 + iteration``,
+    matching the pre-pipeline engine) and threads the context's loop
+    state — retired candidates, repair counts, counterexample matrix —
+    into :func:`repair_iteration`.
+    """
+    return repair_iteration(ctx.instance, ctx.candidates, ctx.tracker,
+                            ctx.order, sigma_x, ctx.active_config,
+                            fixed=ctx.non_repairable,
+                            rng=spawn(ctx.rng, 200 + ctx.iteration),
+                            deadline=ctx.deadline,
+                            repair_counts=ctx.repair_counts,
+                            matrix_session=ctx.matrix_session,
+                            cex_matrix=ctx.cex_matrix)
 
 
 def evaluate_vector(candidates, order, x_assignment):

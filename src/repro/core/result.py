@@ -42,15 +42,33 @@ class SynthesisResult:
         :func:`repro.dqbf.certificates.check_false_witness`.  ``None``
         when the engine proved falsity another way (e.g. an UNSAT
         expansion).
+    partial_functions:
+        Anytime partial result, attached by the staged pipeline to
+        ``TIMEOUT``/``UNKNOWN`` verdicts: the best-so-far candidate
+        vector, grounded to mention only universal variables (same form
+        as ``functions``).  These are *candidates*, not certified
+        Henkin functions — callers that serve them must treat them as
+        heuristic.  ``None`` when the run died before any candidate
+        existed.
+    partial_verified:
+        How many entries of ``partial_functions`` are known-final: the
+        outputs fixed by preprocessing (unate constants and unique
+        definitions, provably correct in isolation) plus the outputs
+        retired by self-substitution (final — correct whenever the rest
+        of the vector is).  The remaining entries are still provisional
+        learning/repair candidates.
     """
 
     def __init__(self, status, functions=None, stats=None, reason="",
-                 witness=None):
+                 witness=None, partial_functions=None,
+                 partial_verified=None):
         self.status = status
         self.functions = functions
         self.stats = stats or {}
         self.reason = reason
         self.witness = witness
+        self.partial_functions = partial_functions
+        self.partial_verified = partial_verified
 
     @property
     def synthesized(self):

@@ -22,6 +22,37 @@ from repro.formula import boolfunc as bf
 from repro.formula.boolfunc import cnf_to_expr
 
 
+def run_self_substitution(ctx):
+    """Pipeline entry: retire over-repaired candidates from the context.
+
+    Every candidate whose repair count crossed
+    ``config.self_substitution_threshold`` is replaced by its
+    self-substitution and moved into ``ctx.non_repairable``; each
+    successful replacement may add dependency edges, so the total order
+    is recomputed immediately (as the pre-pipeline engine did).
+    Returns the number of candidates retired.
+    """
+    from repro.core.order import find_order
+
+    config = ctx.config
+    retired = 0
+    for yk, count in list(ctx.repair_counts.items()):
+        if count <= config.self_substitution_threshold or \
+                yk in ctx.non_repairable:
+            continue
+        applied = self_substitute(
+            ctx.instance, ctx.candidates, ctx.tracker, yk,
+            max_dag_size=config.self_substitution_max_dag)
+        if applied:
+            ctx.non_repairable[yk] = ctx.candidates[yk]
+            ctx.stats["self_substitutions"] = \
+                ctx.stats.get("self_substitutions", 0) + 1
+            retired += 1
+            # New edges may invalidate the old total order.
+            ctx.order = find_order(ctx.instance, ctx.tracker)
+    return retired
+
+
 def can_self_substitute(instance, tracker, yk):
     """Is the self-substitution sound for ``yk`` on this instance?"""
     if instance.dependencies[yk] != frozenset(instance.universals):

@@ -30,8 +30,27 @@ which is what the equivalence suite tests against.
 from repro.formula.tseitin import SolverSink, TseitinEncoder, \
     negated_cnf_expr
 from repro.sat.solver import Solver, UNSAT
+from repro.utils.rng import spawn
 
-__all__ = ["VerifierSession", "MatrixSession"]
+__all__ = ["VerifierSession", "MatrixSession", "build_sessions"]
+
+
+def build_sessions(ctx):
+    """Attach the run's oracle sessions to the synthesis context.
+
+    A no-op on the fresh path (``config.incremental=False``); otherwise
+    builds one :class:`MatrixSession` and one :class:`VerifierSession`
+    seeded from the context's dedicated oracle stream, so the root
+    sampler/preprocess/loop streams are untouched either way.
+    """
+    if not ctx.config.incremental:
+        return
+    ctx.matrix_session = MatrixSession(ctx.instance.matrix,
+                                       rng=spawn(ctx.oracle_rng, 1))
+    ctx.verifier_session = VerifierSession(ctx.instance,
+                                           rng=spawn(ctx.oracle_rng, 2))
+    ctx.sessions = [("matrix", ctx.matrix_session),
+                    ("verifier", ctx.verifier_session)]
 
 
 class VerifierSession:

@@ -27,6 +27,21 @@ from repro.utils.errors import ResourceBudgetExceeded
 from repro.utils.rng import make_rng, spawn
 
 
+def run_verify(ctx):
+    """Pipeline entry: one verification round against the context.
+
+    Spawns the per-iteration RNG stream (salt ``100 + iteration``,
+    matching the pre-pipeline engine) and routes through the context's
+    sessions, active deadline, and conflict budget.
+    """
+    return verify_candidates(ctx.instance, ctx.candidates,
+                             rng=spawn(ctx.rng, 100 + ctx.iteration),
+                             deadline=ctx.deadline,
+                             conflict_budget=ctx.conflict_budget,
+                             session=ctx.verifier_session,
+                             matrix_session=ctx.matrix_session)
+
+
 class VerificationOutcome:
     """Result of one verification round.
 

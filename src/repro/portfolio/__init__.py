@@ -15,7 +15,9 @@ JSONL record stream that round-trips back into a
 """
 
 from repro.portfolio.parallel import (
-    ENGINE_BUILDERS,
+    ENGINE_SPECS,
+    BaselineEngineSpec,
+    PipelineEngineSpec,
     derive_job_seed,
     engine_names,
     make_engine,
@@ -46,7 +48,9 @@ __all__ = [
     "run_campaign",
     "evaluate_run",
     "CampaignStore",
-    "ENGINE_BUILDERS",
+    "ENGINE_SPECS",
+    "BaselineEngineSpec",
+    "PipelineEngineSpec",
     "engine_names",
     "make_engine",
     "derive_job_seed",

@@ -46,78 +46,98 @@ _DEATH_GRACE = 1.0
 
 
 # ----------------------------------------------------------------------
-# engine registry
+# engine registry: declarative specs
 # ----------------------------------------------------------------------
-def _build_manthan3(seed):
-    from repro.core import Manthan3, Manthan3Config
-    return Manthan3(Manthan3Config(seed=seed))
+class PipelineEngineSpec:
+    """A Manthan3 variant as *data*: a phase list plus config overrides.
+
+    Every Manthan3 portfolio engine — the default, the A/B substrate
+    baselines, and the ablations — differs only in which pipeline
+    phases run and which ``Manthan3Config`` fields deviate from the
+    defaults.  The registry therefore stores exactly that, instead of a
+    bespoke builder closure per engine: adding an ablation engine is
+    one data entry, not a code fork.
+    """
+
+    __slots__ = ("name", "overrides", "phases", "description")
+
+    def __init__(self, name, overrides=None, phases=None, description=""):
+        self.name = name
+        self.overrides = dict(overrides or {})
+        self.phases = tuple(phases) if phases is not None else None
+        self.description = description
+
+    def build(self, seed):
+        from repro.core import Manthan3, Manthan3Config
+
+        config = Manthan3Config(seed=seed, **self.overrides)
+        engine = Manthan3(config, phases=self.phases)
+        engine.name = self.name
+        return engine
 
 
-def _build_manthan3_fresh(seed):
-    """Manthan3 on the fresh-solver fallback path — the equivalence
-    baseline for the incremental oracle sessions."""
-    from repro.core import Manthan3, Manthan3Config
-    engine = Manthan3(Manthan3Config(seed=seed, incremental=False))
-    engine.name = "manthan3-fresh"
-    return engine
+class BaselineEngineSpec:
+    """A baseline engine, named by its class in :mod:`repro.baselines`."""
+
+    __slots__ = ("name", "cls", "description")
+
+    def __init__(self, name, cls, description=""):
+        self.name = name
+        self.cls = cls
+        self.description = description
+
+    def build(self, seed):
+        import repro.baselines as baselines
+
+        return getattr(baselines, self.cls)(seed=seed)
 
 
-def _build_manthan3_rowwise(seed):
-    """Manthan3 on the dict-row learning/evaluation path — the A/B
-    baseline for the bit-parallel simulation substrate."""
-    from repro.core import Manthan3, Manthan3Config
-    engine = Manthan3(Manthan3Config(seed=seed, bitparallel=False))
-    engine.name = "manthan3-rowwise"
-    return engine
-
-
-def _build_expansion(seed):
-    from repro.baselines import ExpansionSynthesizer
-    return ExpansionSynthesizer(seed=seed)
-
-
-def _build_pedant(seed):
-    from repro.baselines import PedantLikeSynthesizer
-    return PedantLikeSynthesizer(seed=seed)
-
-
-def _build_skolem(seed):
-    from repro.baselines import SkolemCompositionSynthesizer
-    return SkolemCompositionSynthesizer(seed=seed)
-
-
-def _build_bdd(seed):
-    from repro.baselines import BDDSynthesizer
-    return BDDSynthesizer(seed=seed)
-
-
-#: ``name -> builder(seed)``.  The single registry behind the CLI's
+#: ``name -> spec``.  The single registry behind the CLI's
 #: ``--engine``/``--engines`` options and worker-side engine
-#: construction.
-ENGINE_BUILDERS = {
-    "manthan3": _build_manthan3,
-    "manthan3-fresh": _build_manthan3_fresh,
-    "manthan3-rowwise": _build_manthan3_rowwise,
-    "expansion": _build_expansion,
-    "pedant": _build_pedant,
-    "skolem": _build_skolem,
-    "bdd": _build_bdd,
-}
+#: construction; specs are declarative (see :class:`PipelineEngineSpec`)
+#: so engine variants are data, not builder code.
+ENGINE_SPECS = {spec.name: spec for spec in (
+    PipelineEngineSpec(
+        "manthan3",
+        description="full pipeline: incremental sessions + bit-parallel"),
+    PipelineEngineSpec(
+        "manthan3-fresh", overrides={"incremental": False},
+        description="fresh-solver fallback (oracle-session A/B baseline)"),
+    PipelineEngineSpec(
+        "manthan3-rowwise", overrides={"bitparallel": False},
+        description="dict-row learning (bit-parallel A/B baseline)"),
+    PipelineEngineSpec(
+        "manthan3-nopre",
+        phases=("unit_fastpath", "sample", "learn", "order",
+                "verify_repair"),
+        description="ablation: preprocessing phase removed"),
+    PipelineEngineSpec(
+        "manthan3-noselfsub", overrides={"use_self_substitution": False},
+        description="ablation: self-substitution fallback disabled"),
+    BaselineEngineSpec("expansion", "ExpansionSynthesizer",
+                       description="HQS-like universal expansion"),
+    BaselineEngineSpec("pedant", "PedantLikeSynthesizer",
+                       description="definition-based (Pedant-like)"),
+    BaselineEngineSpec("skolem", "SkolemCompositionSynthesizer",
+                       description="Skolem composition"),
+    BaselineEngineSpec("bdd", "BDDSynthesizer",
+                       description="BDD-based synthesis"),
+)}
 
 
 def engine_names():
     """Registered engine names, sorted."""
-    return sorted(ENGINE_BUILDERS)
+    return sorted(ENGINE_SPECS)
 
 
 def make_engine(name, seed=None):
     """Build a registered engine by name."""
     try:
-        builder = ENGINE_BUILDERS[name]
+        spec = ENGINE_SPECS[name]
     except KeyError:
         raise ReproError("unknown engine %r (choose from %s)"
                          % (name, ", ".join(engine_names())))
-    return builder(seed)
+    return spec.build(seed)
 
 
 def derive_job_seed(base_seed, engine_name, instance_name):
@@ -332,7 +352,7 @@ def run_campaign(instances, engines, timeout=None, certify=True,
     specs = []
     for entry in engines:
         if isinstance(entry, str):
-            if entry not in ENGINE_BUILDERS:
+            if entry not in ENGINE_SPECS:
                 raise ReproError("unknown engine %r (choose from %s)"
                                  % (entry, ", ".join(engine_names())))
             specs.append((entry, None))

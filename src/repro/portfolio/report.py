@@ -20,6 +20,25 @@ from repro.portfolio.vbs import (
 )
 
 
+def phase_breakdown(table):
+    """Per-engine seconds per pipeline phase, summed over records.
+
+    Reads the ``stats["phases"]`` timings the staged pipeline attaches
+    to every run (stored campaigns round-trip them through the JSONL
+    store, and pool workers ship them over IPC).  Engines that report
+    no phase timings — the baselines — are simply absent.
+    """
+    out = {}
+    for record in table.records:
+        phases = record.stats.get("phases")
+        if not phases:
+            continue
+        agg = out.setdefault(record.engine, {})
+        for name, seconds in phases.items():
+            agg[name] = agg.get(name, 0.0) + seconds
+    return out
+
+
 def render_report(table, main_engine="manthan3", display_names=None,
                   slack=10.0):
     """Render the full evaluation report; returns a list of lines."""
@@ -56,6 +75,19 @@ def render_report(table, main_engine="manthan3", display_names=None,
         lines.append("  %s within +%.0f s of VBS(others) on %d instances"
                      % (names.get(main_engine, main_engine), slack,
                         len(hits)))
+
+    breakdown = phase_breakdown(table)
+    if breakdown:
+        lines.append("")
+        lines.append("-- per-phase time breakdown --")
+        for engine in sorted(breakdown):
+            phases = breakdown[engine]
+            total = sum(phases.values())
+            lines.append("  %s" % names.get(engine, engine))
+            for phase, seconds in phases.items():
+                share = 100.0 * seconds / total if total > 0 else 0.0
+                lines.append("    %-14s %9.3f s  (%5.1f%%)"
+                             % (phase, seconds, share))
 
     lines.append("")
     lines.append("-- pairwise comparisons (Figures 7-10) --")

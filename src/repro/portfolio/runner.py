@@ -154,7 +154,7 @@ def run_portfolio(instances, engines, timeout=None, certify=True,
     engines:
         Iterable of engine objects exposing ``name`` and
         ``run(instance, timeout)``, or engine *names* (strings) resolved
-        through :data:`repro.portfolio.parallel.ENGINE_BUILDERS` — names
+        through :data:`repro.portfolio.parallel.ENGINE_SPECS` — names
         get a fresh engine per job with a deterministic per-job seed, so
         results are identical for any ``jobs`` value.
     timeout:

@@ -3,8 +3,19 @@
 import itertools
 
 from repro.core.candidates import DependencyTracker
-from repro.core.selfsub import can_self_substitute, self_substitute
-from repro.core import Manthan3, Manthan3Config, Status
+from repro.core.order import find_order
+from repro.core.selfsub import (
+    can_self_substitute,
+    run_self_substitution,
+    self_substitute,
+)
+from repro.core import (
+    Manthan3,
+    Manthan3Config,
+    Pipeline,
+    Status,
+    SynthesisContext,
+)
 from repro.dqbf import check_henkin_vector, skolem_instance
 from repro.dqbf.instance import DQBFInstance
 from repro.formula import boolfunc as bf
@@ -73,6 +84,77 @@ class TestEngineIntegration:
         inst = make_skolem([1], [2], [[2, 1]])
         result = Manthan3(Manthan3Config(seed=1)).run(inst, timeout=30)
         assert "self_substitutions" in result.stats
+
+
+class TestFallbackEndToEnd:
+    """The Manthan2-style fallback through the verify–repair phase: a
+    candidate crossing the repair threshold is self-substituted, retired
+    into the non-repairable set, and the order is recomputed."""
+
+    def _context(self, inst, candidates, **config_kwargs):
+        config = Manthan3Config(seed=3, incremental=False,
+                                **config_kwargs)
+        ctx = SynthesisContext(inst, config)
+        ctx.candidates = dict(candidates)
+        ctx.tracker = DependencyTracker(inst.existentials)
+        ctx.tracker.seed_subset_pairs(inst)
+        ctx.order = find_order(inst, ctx.tracker)
+        return ctx
+
+    def test_threshold_crossing_retires_candidate(self):
+        # ϕ = y ↔ (x1 ∨ x2); the deliberately wrong candidate FALSE
+        # needs a repair, and threshold 0 turns that first repair into a
+        # self-substitution.
+        inst = make_skolem([1, 2], [3],
+                           [[-3, 1, 2], [3, -1], [3, -2]])
+        ctx = self._context(inst, {3: bf.FALSE},
+                            self_substitution_threshold=0)
+        result = Pipeline(("verify_repair",)).execute(ctx)
+        assert result.status == Status.SYNTHESIZED
+        assert check_henkin_vector(inst, result.functions).valid
+        assert ctx.stats["self_substitutions"] == 1
+        assert 3 in ctx.non_repairable
+        assert ctx.repair_counts[3] == 1
+        # The retiree is the self-substituted ϕ|_{y=1}, kept in sync
+        # with the candidate vector.
+        assert ctx.non_repairable[3] is ctx.candidates[3]
+
+    def test_retiree_excluded_from_further_repair(self):
+        inst = make_skolem([1, 2], [3],
+                           [[-3, 1, 2], [3, -1], [3, -2]])
+        ctx = self._context(inst, {3: bf.FALSE},
+                            self_substitution_threshold=0)
+        Pipeline(("verify_repair",)).execute(ctx)
+        # Exactly one repair happened: the retirement froze the count.
+        assert ctx.repair_counts == {3: 1}
+
+    def test_order_recomputed_on_new_edges(self):
+        # ϕ|_{y4=1} mentions y3, so retiring y4 adds the edge y4 → y3
+        # and the recomputed order must place y4 before its dependee.
+        inst = make_skolem([1], [3, 4], [[4, 3], [1, -3]])
+        ctx = self._context(inst, {3: bf.var(1), 4: bf.FALSE})
+        ctx.non_repairable = {}
+        ctx.repair_counts = {4: ctx.config.self_substitution_threshold + 1}
+        assert ctx.order == [3, 4]
+        retired = run_self_substitution(ctx)
+        assert retired == 1
+        assert 4 in ctx.non_repairable
+        assert ctx.order == [4, 3]
+        assert ctx.order == find_order(inst, ctx.tracker)
+
+    def test_max_dag_refusal_keeps_candidate_repairable(self):
+        inst = make_skolem([1, 2], [3],
+                           [[-3, 1, 2], [-3, -1, -2],
+                            [3, -1, 2], [3, 1, -2]])       # y ↔ (x1 ↔ x2)
+        ctx = self._context(inst, {3: bf.FALSE},
+                            self_substitution_max_dag=1)
+        ctx.non_repairable = {}
+        ctx.repair_counts = {3: ctx.config.self_substitution_threshold + 1}
+        retired = run_self_substitution(ctx)
+        assert retired == 0
+        assert ctx.stats.get("self_substitutions", 0) == 0
+        assert 3 not in ctx.non_repairable
+        assert ctx.candidates[3] is bf.FALSE   # untouched on refusal
 
 
 class TestFalseFastPath:

@@ -10,7 +10,8 @@ from repro.dqbf.instance import DQBFInstance
 from repro.formula import boolfunc as bf
 from repro.formula.cnf import CNF
 from repro.portfolio.parallel import (
-    ENGINE_BUILDERS,
+    ENGINE_SPECS,
+    PipelineEngineSpec,
     derive_job_seed,
     engine_names,
     make_engine,
@@ -68,9 +69,22 @@ class TestRegistry:
             assert callable(engine.run)
 
     def test_registry_covers_cli_choices(self):
-        assert set(ENGINE_BUILDERS) == {"manthan3", "manthan3-fresh",
-                                        "manthan3-rowwise", "expansion",
-                                        "pedant", "skolem", "bdd"}
+        assert set(ENGINE_SPECS) == {"manthan3", "manthan3-fresh",
+                                     "manthan3-rowwise", "manthan3-nopre",
+                                     "manthan3-noselfsub", "expansion",
+                                     "pedant", "skolem", "bdd"}
+
+    def test_pipeline_specs_are_declarative(self):
+        """Manthan3 variants are data — overrides + phase list — and
+        build engines that carry the spec's name."""
+        spec = ENGINE_SPECS["manthan3-fresh"]
+        assert isinstance(spec, PipelineEngineSpec)
+        assert spec.overrides == {"incremental": False}
+        assert spec.phases is None          # default phase list
+        engine = spec.build(seed=7)
+        assert engine.name == "manthan3-fresh"
+        assert engine.config.incremental is False
+        assert engine.config.seed == 7
 
     def test_unknown_engine_raises(self):
         with pytest.raises(ReproError):

@@ -54,3 +54,19 @@ class TestRenderReport:
     def test_incompleteness_breakdown(self):
         text = "\n".join(render_report(build_table()))
         assert "incompleteness (UNKNOWN): 1" in text
+
+    def test_phase_breakdown_absent_without_phase_stats(self):
+        text = "\n".join(render_report(build_table()))
+        assert "per-phase time breakdown" not in text
+
+    def test_phase_breakdown_rendered(self):
+        table = build_table()
+        table.add(RunRecord(
+            "manthan3", "staged", Status.SYNTHESIZED, 1.0,
+            certified=True,
+            stats={"phases": {"sample": 0.25, "learn": 0.50,
+                              "verify_repair": 0.25}}))
+        text = "\n".join(render_report(table))
+        assert "per-phase time breakdown" in text
+        assert "learn" in text
+        assert "50.0%" in text
