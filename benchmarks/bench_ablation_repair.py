@@ -15,7 +15,7 @@ solved counts and repair-iteration counts per configuration.
 import pytest
 
 from benchmarks.conftest import write_result
-from repro import Manthan3, Manthan3Config, Status
+from repro.core import Manthan3, Manthan3Config, Status
 from repro.benchgen.pec import generate_pec_instance
 from repro.benchgen.planted import generate_planted_instance
 from repro.benchgen.xor_chain import generate_coupled_xor_instance

@@ -1,5 +1,5 @@
 """PERF — staged-pipeline overhead: Pipeline dispatch vs the PR 3
-monolith.
+monolith, and the event machinery vs nothing.
 
 Runs the planted suite through the staged pipeline
 (:class:`repro.core.Manthan3`) and through the frozen pre-pipeline
@@ -10,16 +10,31 @@ asserted per instance — so the wall-time delta is exactly the cost of
 the pipeline machinery: phase dispatch, per-phase stopwatches, budget
 bookkeeping, and the context indirection.
 
+Since the ``repro.api`` façade, the pipeline also carries the typed
+event stream.  The suite is therefore timed three ways — monolith,
+staged with **no listeners** (the emission guard path every unobserved
+production solve takes), and staged with a listener attached — and two
+gates apply: the pipeline gate (≤5% vs the monolith, as before) and the
+**event gate**: with no listeners subscribed, the event-capable
+pipeline must stay within ≤2% of the monolith, i.e. unobserved event
+emission is near-free.  The listeners-attached column is recorded (not
+gated): it measures what observation actually costs.
+
 The summary is written to ``benchmarks/results/pipeline_overhead.json``
-so the repo carries a recorded perf trajectory.  Acceptance gate: ≤5%
-overhead on the planted-suite total.
+so the repo carries a recorded perf trajectory.
 
 Knobs (environment variables):
 
 * ``REPRO_BENCH_PIPELINE_REPEATS`` — timing repeats per row (default 3)
 * ``REPRO_BENCH_PIPELINE_TIMEOUT`` — per-run timeout seconds (default 60)
-* ``REPRO_BENCH_PIPELINE_MAX_OVERHEAD`` — overhead ceiling as a
-  fraction (default 0.05; raise on noisy shared runners)
+* ``REPRO_BENCH_PIPELINE_MAX_OVERHEAD`` — pipeline overhead ceiling as
+  a fraction (default 0.05; raise on noisy shared runners)
+* ``REPRO_BENCH_EVENT_MAX_OVERHEAD`` — no-listener event-machinery
+  ceiling (default 0.02; raise on noisy shared runners)
+
+Both ceilings bound the same measured ratio (staged, no listeners, vs
+monolith), so the *effective* gate is the tighter of the two — raise
+both on noisy runners.
 """
 
 import json
@@ -32,6 +47,9 @@ from repro.benchgen import generate_planted_instance
 from repro.core import Manthan3, Manthan3Config
 
 MAX_OVERHEAD = 0.05
+#: With no listeners subscribed, the event-capable pipeline must stay
+#: within this fraction of the monolith (which has no event machinery).
+MAX_EVENT_OVERHEAD = 0.02
 
 
 def _suite():
@@ -56,44 +74,61 @@ def _timeout():
     return float(os.environ.get("REPRO_BENCH_PIPELINE_TIMEOUT", "60"))
 
 
-def _time_engine(engine_cls, instance, repeats, timeout):
+def _time_engine(engine_cls, instance, repeats, timeout,
+                 run_kwargs=None):
     best = None
     for _ in range(repeats):
         engine = engine_cls(Manthan3Config(seed=7))
         started = time.perf_counter()
-        result = engine.run(instance, timeout=timeout)
+        result = engine.run(instance, timeout=timeout,
+                            **(run_kwargs or {}))
         elapsed = time.perf_counter() - started
         best = elapsed if best is None else min(best, elapsed)
     return best, result
 
 
 def test_pipeline_overhead_vs_monolith():
-    """Time both engines per instance, assert trajectory equivalence,
-    gate the total overhead, and persist the JSON summary."""
+    """Time the three configurations per instance, assert trajectory
+    equivalence, gate pipeline and event overheads, and persist the
+    JSON summary."""
     repeats = _repeats()
     timeout = _timeout()
     rows = []
-    staged_total = monolith_total = 0.0
+    event_count = [0]
+
+    def listener(_event):
+        event_count[0] += 1
+
+    staged_total = monolith_total = listener_total = 0.0
     for instance in _suite():
         staged_s, staged = _time_engine(Manthan3, instance, repeats,
                                         timeout)
         mono_s, mono = _time_engine(MonolithManthan3, instance, repeats,
                                     timeout)
+        listener_s, observed = _time_engine(
+            Manthan3, instance, repeats, timeout,
+            run_kwargs={"listeners": (listener,)})
         # Equivalence first: an overhead number only means something if
-        # the two engines did identical work.
+        # the engines did identical work — observed or not.
         assert staged.status == mono.status, instance.name
         assert staged.functions == mono.functions, instance.name
+        assert observed.status == staged.status, instance.name
+        assert observed.functions == staged.functions, instance.name
         rows.append({
             "instance": instance.name,
             "staged_s": round(staged_s, 4),
             "monolith_s": round(mono_s, 4),
+            "listeners_s": round(listener_s, 4),
             "status": staged.status,
             "phases": staged.stats.get("phases"),
         })
         staged_total += staged_s
         monolith_total += mono_s
+        listener_total += listener_s
+    assert event_count[0] > 0  # the listener really was attached
 
     overhead = staged_total / monolith_total - 1.0
+    listener_overhead = listener_total / staged_total - 1.0
     summary = {
         "benchmark": "pipeline_overhead",
         "repeats": repeats,
@@ -102,8 +137,12 @@ def test_pipeline_overhead_vs_monolith():
         "rows": rows,
         "staged_s": round(staged_total, 4),
         "monolith_s": round(monolith_total, 4),
+        "listeners_s": round(listener_total, 4),
         "overhead": round(overhead, 4),
+        "listener_overhead": round(listener_overhead, 4),
+        "events_delivered": event_count[0],
         "gate": MAX_OVERHEAD,
+        "event_gate": MAX_EVENT_OVERHEAD,
     }
 
     os.makedirs(RESULTS_DIR, exist_ok=True)
@@ -112,8 +151,16 @@ def test_pipeline_overhead_vs_monolith():
         json.dump(summary, handle, indent=1, sort_keys=True)
     print("\n" + json.dumps(summary, indent=1, sort_keys=True))
 
+    # Both gates bound the same measured quantity — staged-no-listeners
+    # vs monolith — so the effective ceiling is the tighter of the two
+    # knobs (the event gate, unless a noisy runner raises it).
     ceiling = float(os.environ.get("REPRO_BENCH_PIPELINE_MAX_OVERHEAD",
                                    str(MAX_OVERHEAD)))
-    assert overhead <= ceiling, \
-        "staged pipeline overhead %.1f%% exceeds %.1f%%" \
-        % (100 * overhead, 100 * ceiling)
+    event_ceiling = float(os.environ.get(
+        "REPRO_BENCH_EVENT_MAX_OVERHEAD", str(MAX_EVENT_OVERHEAD)))
+    effective = min(ceiling, event_ceiling)
+    assert overhead <= effective, \
+        "staged no-listener overhead %.1f%% exceeds %.1f%% (raise " \
+        "REPRO_BENCH_PIPELINE_MAX_OVERHEAD and/or " \
+        "REPRO_BENCH_EVENT_MAX_OVERHEAD on noisy runners)" \
+        % (100 * overhead, 100 * effective)

@@ -11,7 +11,7 @@ BDDs stay linear.
 import pytest
 
 from benchmarks.conftest import write_result
-from repro import Manthan3, Manthan3Config, Status
+from repro.core import Manthan3, Manthan3Config, Status
 from repro.baselines import BDDSynthesizer, SkolemCompositionSynthesizer
 from repro.dqbf import skolem_instance
 from repro.formula.cnf import CNF

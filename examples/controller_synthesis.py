@@ -9,36 +9,34 @@ controller enforcing
 
     Safe(S) → Safe(S′(S, U, W))   for all S, W.
 
-The example synthesizes a controller, simulates it on concrete plays to
-show the invariant holding, and demonstrates that blinding the controller
-(narrowing its window) can make the game unwinnable.
+The example synthesizes a controller through the `repro.api` façade,
+compiles it to a plain Python callable (`Solution.to_python_callable`)
+to simulate concrete plays, and demonstrates that blinding the
+controller (narrowing its window) can make the game unwinnable.
 
 Run:  python examples/controller_synthesis.py
 """
 
-import itertools
 import random
 
-from repro import Manthan3, Status, check_henkin_vector
+from repro.api import Solver, Status
 from repro.benchgen import generate_controller_instance
-from repro.baselines import ExpansionSynthesizer
 
 
-def simulate(instance, controller, plays=6, seed=1):
-    """Replay the one-step game with the synthesized controller."""
+def simulate(instance, controller_fn, controls, plays=6, seed=1):
+    """Replay the one-step game with the compiled controller."""
     rng = random.Random(seed)
     universals = instance.universals
     print("  sampled plays (state+disturbance -> controls):")
     for _ in range(plays):
         assignment = {x: bool(rng.getrandbits(1)) for x in universals}
-        controls = {u: controller[u].evaluate(assignment)
-                    for u in controller}
+        outputs = controller_fn(assignment)
         env = dict(assignment)
-        env.update(controls)
+        env.update(outputs)
         spec_holds = instance.matrix.evaluate_partial(env)
         print("    %s -> %s : spec %s" % (
             "".join("1" if assignment[x] else "0" for x in universals),
-            {u: int(v) for u, v in controls.items()},
+            {u: int(outputs[u]) for u in controls},
             "holds" if spec_holds is not False else "VIOLATED"))
         assert spec_holds is not False
 
@@ -57,27 +55,27 @@ def main():
 
     # Portfolio style (the paper's §6 message): try the data-driven
     # engine first, fall back to the complete one if it stalls.
-    result = Manthan3().run(instance, timeout=20)
-    print("Manthan3:", result.status,
-          "(%.3f s)" % result.stats["wall_time"])
-    if result.status != Status.SYNTHESIZED:
+    solution = Solver("manthan3").solve(instance, timeout=20)
+    print("Manthan3:", solution.status,
+          "(%.3f s)" % solution.stats["wall_time"])
+    if not solution.synthesized:
         print("falling back to the complete expansion engine ...")
-        result = ExpansionSynthesizer().run(instance, timeout=60)
-        print("expansion:", result.status,
-              "(%.3f s)" % result.stats["wall_time"])
-    assert result.status == Status.SYNTHESIZED
-    cert = check_henkin_vector(instance, result.functions)
-    assert cert.valid
+        solution = Solver("expansion").solve(instance, timeout=60)
+        print("expansion:", solution.status,
+              "(%.3f s)" % solution.stats["wall_time"])
+    assert solution.synthesized
+    assert solution.certify().valid
     print("controller functions:")
     for u in controls:
-        print("  u%d = %s" % (u, result.functions[u].to_infix()))
-    simulate(instance, {u: result.functions[u] for u in controls})
+        print("  u%d = %s" % (u, solution.functions[u].to_infix()))
+    # Compile the whole vector once; simulation then runs plain Python.
+    simulate(instance, solution.to_python_callable(), controls)
 
     print("\n=== Blinded game (observation window narrowed) ===")
     blinded = generate_controller_instance(
         num_state=4, num_disturbance=2, num_controls=2,
         observable=False, seed=11)
-    verdict = ExpansionSynthesizer().run(blinded, timeout=60)
+    verdict = Solver("expansion").solve(blinded, timeout=60)
     print("complete engine:", verdict.status)
     if verdict.status == Status.FALSE:
         print("no partially-informed controller exists for this plant")

@@ -8,21 +8,20 @@ full-adder stage was ripped out:
 
 1. build the PEC instance (golden adder vs implementation with two
    boxes observing the stage's input cone);
-2. synthesize the boxes;
-3. validate the vector with the independent checker;
-4. export the patch as a synthesizable Verilog module and an AIGER file
-   next to this script (``eco_patch.v`` / ``eco_patch.aag``).
+2. synthesize the boxes (data-driven engine first, complete engine as
+   fallback — portfolio style);
+3. certify the solution and *round-trip* the certificate through the
+   exported AIGER artifact (`Solution.roundtrip_check`);
+4. export the patch as a synthesizable Verilog module and an AIGER
+   file next to this script (``eco_patch.v`` / ``eco_patch.aag``).
 
 Run:  python examples/eco_patch_export.py
 """
 
 import os
 
-from repro import Manthan3, Status, check_henkin_vector
-from repro.baselines import ExpansionSynthesizer
+from repro.api import Solver
 from repro.benchgen import generate_adder_pec_instance
-from repro.formula.aig import write_henkin_aiger
-from repro.formula.verilog import write_henkin_verilog
 
 
 def main():
@@ -35,28 +34,30 @@ def main():
           {y: sorted(instance.dependencies[y]) for y in boxes})
 
     # data-driven first, complete engine as fallback — portfolio style
-    result = Manthan3().run(instance, timeout=20)
-    print("manthan3:", result.status,
-          "(%.2f s)" % result.stats["wall_time"])
-    if result.status != Status.SYNTHESIZED:
-        result = ExpansionSynthesizer().run(instance, timeout=60)
-        print("expansion fallback:", result.status)
-    assert result.status == Status.SYNTHESIZED
+    solution = Solver("manthan3").solve(instance, timeout=20)
+    print("manthan3:", solution.status,
+          "(%.2f s)" % solution.stats["wall_time"])
+    if not solution.synthesized:
+        solution = Solver("expansion").solve(instance, timeout=60)
+        print("expansion fallback:", solution.status)
+    assert solution.synthesized
 
-    cert = check_henkin_vector(instance, result.functions)
+    cert = solution.certify()
     assert cert.valid, cert.reason
     print("certificate: VALID")
+    roundtrip = solution.roundtrip_check()
+    assert roundtrip.valid, roundtrip.reason
+    print("certificate round-trip through the AIGER export: VALID")
     for y in boxes:
-        print("  patch y%d = %s" % (y, result.functions[y].to_infix()))
+        print("  patch y%d = %s" % (y, solution.functions[y].to_infix()))
 
     out_dir = os.path.dirname(os.path.abspath(__file__))
     verilog_path = os.path.join(out_dir, "eco_patch.v")
     aiger_path = os.path.join(out_dir, "eco_patch.aag")
     with open(verilog_path, "w") as handle:
-        handle.write(write_henkin_verilog(instance, result.functions,
-                                          module_name="eco_patch"))
+        handle.write(solution.to_verilog(module_name="eco_patch"))
     with open(aiger_path, "w") as handle:
-        handle.write(write_henkin_aiger(instance, result.functions))
+        handle.write(solution.to_aiger())
     print("wrote", verilog_path)
     print("wrote", aiger_path)
 

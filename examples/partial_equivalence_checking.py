@@ -7,57 +7,53 @@ subcircuits ("black boxes") of limited observability, decide whether the
 boxes can be implemented so the two circuits are equivalent — and if so,
 produce the box implementations (the Henkin functions).
 
-This example generates a realizable PEC instance, runs all three engines
-on it, cross-checks their verdicts, and prints the recovered box
-functions.  It then narrows one box's observation window to show how the
-instance (usually) becomes unrealizable.
+This example generates a realizable PEC instance, runs three engines on
+it through reusable `repro.api.Solver` handles, cross-checks their
+verdicts, and prints the recovered box functions.  It then narrows one
+box's observation window to show how the instance (usually) becomes
+unrealizable.
 
 Run:  python examples/partial_equivalence_checking.py
 """
 
-from repro import (
-    ExpansionSynthesizer,
-    Manthan3,
-    PedantLikeSynthesizer,
-    Status,
-    check_henkin_vector,
-)
+from repro.api import Problem, Solver, Status
 from repro.benchgen import generate_pec_instance
 
+SOLVERS = [Solver(name) for name in ("manthan3", "expansion", "pedant")]
 
-def run_engines(instance, timeout=30):
-    results = {}
-    for engine in (Manthan3(), ExpansionSynthesizer(),
-                   PedantLikeSynthesizer()):
-        result = engine.run(instance, timeout=timeout)
-        results[engine.name] = result
-        status = result.status
-        if result.synthesized:
-            cert = check_henkin_vector(instance, result.functions)
+
+def run_engines(problem, timeout=30):
+    solutions = {}
+    for solver in SOLVERS:
+        solution = solver.solve(problem, timeout=timeout)
+        solutions[solver.name] = solution
+        status = solution.status
+        if solution.synthesized:
+            cert = solution.certify()
             status += " (certificate %s)" % ("OK" if cert.valid else
                                              "REJECTED")
         print("  %-10s -> %-30s %.3f s" % (
-            engine.name, status, result.stats.get("wall_time", 0.0)))
-    return results
+            solver.name, status, solution.stats.get("wall_time", 0.0)))
+    return solutions
 
 
 def main():
     print("=== Realizable instance ===")
-    instance = generate_pec_instance(
+    problem = Problem.from_instance(generate_pec_instance(
         num_inputs=6, num_outputs=3, num_boxes=2, depth=3,
-        extra_observables=1, realizable=True, seed=7)
-    boxes = [y for y in instance.existentials
-             if len(instance.dependencies[y]) < instance.num_universals]
+        extra_observables=1, realizable=True, seed=7))
+    boxes = [y for y in problem.existentials
+             if len(problem.dependencies[y]) < problem.num_universals]
     print("inputs=%d, boxes observe %s" % (
-        instance.num_universals,
-        {y: sorted(instance.dependencies[y]) for y in boxes}))
+        problem.num_universals,
+        {y: sorted(problem.dependencies[y]) for y in boxes}))
 
-    results = run_engines(instance)
-    verdicts = {r.status for r in results.values()}
+    solutions = run_engines(problem)
+    verdicts = {s.status for s in solutions.values()}
     assert verdicts <= {Status.SYNTHESIZED, Status.UNKNOWN,
                         Status.TIMEOUT}
 
-    synthesized = next(r for r in results.values() if r.synthesized)
+    synthesized = next(s for s in solutions.values() if s.synthesized)
     print("\nRecovered box implementations:")
     for y in boxes:
         print("  box y%d = %s" % (y, synthesized.functions[y].to_infix()))
@@ -66,8 +62,8 @@ def main():
     blinded = generate_pec_instance(
         num_inputs=6, num_outputs=3, num_boxes=2, depth=3,
         extra_observables=1, realizable=False, seed=7)
-    blinded_results = run_engines(blinded)
-    complete = blinded_results["expansion"]
+    blinded_solutions = run_engines(blinded)
+    complete = blinded_solutions["expansion"]
     print("\ncomplete engine says:", complete.status,
           "(rectification %s)" % (
               "possible" if complete.status == Status.SYNTHESIZED

@@ -1,26 +1,21 @@
 #!/usr/bin/env python3
 """Mini evaluation campaign: regenerate the paper's §6 analysis.
 
-Runs the three engines over the smoke suite and prints the Virtual Best
-Synthesizer analysis of the paper — solved counts, the VBS improvement
-from adding Manthan3 (Figure 6's claim), unique solves, and the fastest-
-tool table.  The full-scale version of this pipeline lives in
-``benchmarks/``; this example keeps the suite tiny so it finishes in
-about a minute.
+Runs three engines over the smoke suite with one `repro.api.solve_batch`
+call — the same parallel, certifying campaign machinery the `run-suite`
+CLI and the benchmarks use — and prints the Virtual Best Synthesizer
+analysis of the paper: solved counts, the VBS improvement from adding
+Manthan3 (Figure 6's claim), unique solves, and the fastest-tool table.
+The full-scale version of this pipeline lives in ``benchmarks/``; this
+example keeps the suite tiny so it finishes in about a minute.
 
 Run:  python examples/portfolio_study.py
 """
 
-from repro import (
-    ExpansionSynthesizer,
-    Manthan3,
-    Manthan3Config,
-    PedantLikeSynthesizer,
-)
+from repro.api import Solver, solve_batch
 from repro.benchgen import build_suite
 from repro.portfolio import (
     fastest_counts,
-    run_portfolio,
     solved_counts,
     unique_solves,
     vbs_times,
@@ -38,15 +33,15 @@ def main():
             stats["name"], stats["universals"], stats["existentials"],
             stats["clauses"]))
 
-    engines = [Manthan3(Manthan3Config(seed=0)),
-               ExpansionSynthesizer(),
-               PedantLikeSynthesizer()]
-    print("\nrunning %d engine×instance pairs (timeout %.0f s) ..."
-          % (len(suite) * len(engines), TIMEOUT))
-    table = run_portfolio(
-        suite, engines, timeout=TIMEOUT,
+    solvers = [Solver(name)
+               for name in ("manthan3", "expansion", "pedant")]
+    print("\nrunning %d solver×instance pairs (timeout %.0f s) ..."
+          % (len(suite) * len(solvers), TIMEOUT))
+    batch = solve_batch(
+        suite, solvers, timeout=TIMEOUT, seed=0,
         progress=lambda r: print("  %-10s %-38s %-12s %6.2f s" % (
             r.engine, r.instance, r.status, r.time)))
+    table = batch.table
 
     print("\n--- solved counts (paper: HQS2 148 / Pedant 138 / "
           "Manthan3 116 of 563) ---")

@@ -6,13 +6,15 @@ The specification (paper §5) is
     ϕ(X, Y) = (x1 ∨ y1) ∧ (y2 ↔ (y1 ∨ ¬x2)) ∧ (y3 ↔ (x2 ∨ x3))
 
 with Henkin dependencies H1 = {x1}, H2 = {x1, x2}, H3 = {x2, x3}.  We
-load it from DQDIMACS text, run Manthan3, print the synthesized
-functions, and validate them with the independent certificate checker.
+load it through the `repro.api` façade (content-based format
+detection), solve with a reusable `Solver` handle while watching the
+typed event stream, and validate the result with the independent
+certificate checker.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Manthan3, check_henkin_vector, parse_dqdimacs
+from repro.api import PhaseFinished, Problem, Solver
 
 EXAMPLE_1 = """c Example 1 from "Synthesis with Explicit Dependencies"
 c (x1 | y1) & (y2 <-> (y1 | ~x2)) & (y3 <-> (x2 | x3))
@@ -34,28 +36,36 @@ VAR_NAMES = {1: "x1", 2: "x2", 3: "x3", 4: "y1", 5: "y2", 6: "y3"}
 
 
 def main():
-    instance = parse_dqdimacs(EXAMPLE_1, name="paper-example-1")
-    print("Instance:", instance)
-    for y in instance.existentials:
-        deps = ", ".join(VAR_NAMES[x] for x in sorted(instance.dependencies[y]))
+    problem = Problem.from_text(EXAMPLE_1, name="paper-example-1")
+    print("Problem:", problem, "(auto-detected: %s)" % problem.format)
+    for y in problem.existentials:
+        deps = ", ".join(VAR_NAMES[x]
+                         for x in sorted(problem.dependencies[y]))
         print("  %s may depend on {%s}" % (VAR_NAMES[y], deps))
 
-    result = Manthan3().run(instance, timeout=60)
-    print("\nEngine verdict:", result.status)
-    print("Stats:", {k: v for k, v in result.stats.items()
-                     if k != "wall_time"},
-          "(%.3f s)" % result.stats["wall_time"])
+    solver = Solver("manthan3")
 
-    if not result.synthesized:
-        raise SystemExit("synthesis failed: " + result.reason)
+    def on_event(event):
+        if isinstance(event, PhaseFinished):
+            print("  [event] phase %-13s %.4f s"
+                  % (event.phase, event.elapsed))
+    solver.subscribe(on_event)
+
+    print("\nSolving (watch the pipeline phases) ...")
+    solution = solver.solve(problem, timeout=60)
+    print("Verdict:", solution.status,
+          "(%.3f s)" % solution.stats["wall_time"])
+
+    if not solution.synthesized:
+        raise SystemExit("synthesis failed: " + solution.reason)
 
     print("\nSynthesized Henkin functions:")
-    for y in instance.existentials:
+    for y in problem.existentials:
         print("  %s = %s" % (VAR_NAMES[y],
-                             result.functions[y].to_infix(
+                             solution.functions[y].to_infix(
                                  lambda v: VAR_NAMES[v])))
 
-    certificate = check_henkin_vector(instance, result.functions)
+    certificate = solution.certify()
     print("\nIndependent certificate check:",
           "VALID" if certificate.valid else "INVALID (%s)" %
           certificate.reason)

@@ -4,9 +4,10 @@
 When every dependency set is the full universal set (``H_i = X``), Henkin
 synthesis degenerates to classical Skolem function synthesis for
 ``∀X ∃Y ϕ(X, Y)``.  This example synthesizes Skolem functions for a
-small arithmetic specification — a 2-bit "max" circuit — with both
-Manthan3 and the classical composition-based synthesizer, and checks the
-two vectors against the specification.
+small arithmetic specification — a 2-bit "max" circuit — with three
+registered engines through one reusable `repro.api` pattern, and checks
+every vector against the specification via the compiled Python
+callable.
 
 Specification: outputs (m1, m0) must equal max((a1, a0), (b1, b0)) as
 2-bit unsigned numbers, expressed as a CNF over a Tseitin encoding.
@@ -16,8 +17,8 @@ Run:  python examples/skolem_synthesis.py
 
 import itertools
 
-from repro import Manthan3, check_henkin_vector, skolem_instance
-from repro.baselines import BDDSynthesizer, SkolemCompositionSynthesizer
+from repro import skolem_instance
+from repro.api import Solver
 from repro.formula import boolfunc as bf
 from repro.formula.cnf import CNF
 from repro.formula.tseitin import TseitinEncoder
@@ -44,14 +45,14 @@ def build_instance():
                            name="max2")
 
 
-def check_semantics(functions):
+def check_semantics(outputs_fn):
     """Exhaustively compare the synthesized outputs with max()."""
     for bits in itertools.product([False, True], repeat=4):
         env = dict(zip((A1, A0, B1, B0), bits))
         a = 2 * bits[0] + bits[1]
         b = 2 * bits[2] + bits[3]
-        got = (2 * functions[M1].evaluate(env)
-               + functions[M0].evaluate(env))
+        outputs = outputs_fn(env)
+        got = 2 * outputs[M1] + outputs[M0]
         assert got == max(a, b), (env, got, max(a, b))
 
 
@@ -59,19 +60,19 @@ def main():
     instance = build_instance()
     print("instance:", instance, "(Skolem: %s)" % instance.is_skolem())
 
-    for engine in (Manthan3(), SkolemCompositionSynthesizer(),
-                   BDDSynthesizer()):
-        result = engine.run(instance, timeout=60)
-        print("\n%s: %s (%.3f s)" % (engine.name, result.status,
-                                     result.stats.get("wall_time", 0.0)))
-        assert result.synthesized, result.reason
-        cert = check_henkin_vector(instance, result.functions)
+    for engine in ("manthan3", "skolem", "bdd"):
+        solution = Solver(engine).solve(instance, timeout=60)
+        print("\n%s: %s (%.3f s)" % (engine, solution.status,
+                                     solution.stats.get("wall_time",
+                                                        0.0)))
+        assert solution.synthesized, solution.reason
+        cert = solution.certify()
         assert cert.valid, cert.reason
-        check_semantics(result.functions)
+        check_semantics(solution.to_python_callable())
         names = {A1: "a1", A0: "a0", B1: "b1", B0: "b0"}
-        print("  m1 =", result.functions[M1].to_infix(
+        print("  m1 =", solution.functions[M1].to_infix(
             lambda v: names.get(v, "v%d" % v)))
-        print("  m0 =", result.functions[M0].to_infix(
+        print("  m0 =", solution.functions[M0].to_infix(
             lambda v: names.get(v, "v%d" % v)))
         print("  exhaustive max() check passed")
 

@@ -5,18 +5,33 @@ synthesis system, including every substrate the original delegates to
 external tools (SAT, MaxSAT, sampling, decision trees, definition
 extraction) and the baselines it evaluates against.
 
-Quickstart::
+The public surface is the :mod:`repro.api` façade, re-exported here::
 
-    from repro import parse_dqdimacs, synthesize, check_henkin_vector
+    from repro import Problem, Solver
 
-    instance = parse_dqdimacs(open("problem.dqdimacs").read())
-    result = synthesize(instance, timeout=60)
-    if result.synthesized:
-        assert check_henkin_vector(instance, result.functions).valid
+    problem = Problem.from_file("problem.dqdimacs")
+    solution = Solver("manthan3").solve(problem, timeout=60)
+    if solution.synthesized:
+        assert solution.certify().valid
+
+The pre-façade entry points (``repro.synthesize``, ``repro.Manthan3``)
+still work but emit :class:`DeprecationWarning`\\ s naming their
+replacements.
 """
 
-from repro.core import Manthan3, Manthan3Config, SynthesisResult, Status, \
-    synthesize
+import warnings
+
+from repro import api
+from repro.api import (
+    BatchResult,
+    CancellationToken,
+    Problem,
+    Solution,
+    Solver,
+    solve,
+    solve_batch,
+)
+from repro.core import Manthan3Config, SynthesisResult, Status
 from repro.baselines import (
     ExpansionSynthesizer,
     PedantLikeSynthesizer,
@@ -31,9 +46,19 @@ from repro.parsing import (
     write_qdimacs,
 )
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    # the façade
+    "api",
+    "BatchResult",
+    "CancellationToken",
+    "Problem",
+    "Solution",
+    "Solver",
+    "solve",
+    "solve_batch",
+    # engine types and baselines
     "Manthan3",
     "Manthan3Config",
     "SynthesisResult",
@@ -42,6 +67,7 @@ __all__ = [
     "ExpansionSynthesizer",
     "PedantLikeSynthesizer",
     "SkolemCompositionSynthesizer",
+    # instance model and parsing
     "DQBFInstance",
     "skolem_instance",
     "check_henkin_vector",
@@ -52,3 +78,31 @@ __all__ = [
     "write_qdimacs",
     "__version__",
 ]
+
+
+def _deprecated_synthesize(instance, config=None, timeout=None):
+    """Shim for the pre-façade ``repro.synthesize``; routes through
+    :func:`repro.api.solve` and unwraps the raw result."""
+    solution = api.solve(instance, config=config, timeout=timeout)
+    return solution.result
+
+
+def __getattr__(name):
+    # Deprecated entry points stay importable but warn, and route
+    # through the façade.  Everything else is bound above.
+    if name == "synthesize":
+        warnings.warn(
+            "repro.synthesize is deprecated; use repro.api.solve (or "
+            "Solver('manthan3').solve) which returns a Solution",
+            DeprecationWarning, stacklevel=2)
+        return _deprecated_synthesize
+    if name == "Manthan3":
+        warnings.warn(
+            "importing Manthan3 from the package root is deprecated; "
+            "build a repro.api.Solver('manthan3') handle instead (the "
+            "engine class itself remains at repro.core.Manthan3)",
+            DeprecationWarning, stacklevel=2)
+        from repro.core import Manthan3
+        return Manthan3
+    raise AttributeError("module %r has no attribute %r"
+                         % (__name__, name))

@@ -1,0 +1,45 @@
+"""Cooperative cancellation for long-running solves.
+
+A :class:`CancellationToken` is shared between the caller and a running
+solve: the caller (another thread, a signal handler, or an event
+listener reacting to the solve's own progress stream) calls
+:meth:`~CancellationToken.cancel`, and the pipeline honors it at its
+next phase boundary — including each iteration of the verify–repair
+loop, so a long repair phase reacts within one iteration.  A cancelled
+run ends with ``Status.CANCELLED`` and carries the usual anytime
+partials (accumulated stats plus the best-so-far candidate vector), so
+cancelling never throws work away.
+
+For ``solve_batch`` the token is job-grained: running worker processes
+are terminated and unstarted jobs are skipped, each recorded as
+``CANCELLED``.
+"""
+
+import threading
+
+__all__ = ["CancellationToken"]
+
+
+class CancellationToken:
+    """A one-way latch: once cancelled, forever cancelled.
+
+    Thread-safe; ``cancel()`` may be called from any thread (or from an
+    event listener inside the solving thread itself).
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self):
+        self._event = threading.Event()
+
+    def cancel(self):
+        """Request cancellation.  Idempotent."""
+        self._event.set()
+
+    @property
+    def cancelled(self):
+        """True once :meth:`cancel` has been called."""
+        return self._event.is_set()
+
+    def __repr__(self):
+        return "CancellationToken(cancelled=%r)" % self.cancelled

@@ -1,0 +1,28 @@
+"""Public home of the solve-event vocabulary.
+
+The event classes are implemented in :mod:`repro.core.events` (the
+pipeline emits them, and core must not import the façade); this module
+re-exports them as the *public* names — subscribe with
+:meth:`repro.api.Solver.subscribe` and match on these types.  See the
+implementation module for the full vocabulary description.
+"""
+
+from repro.core.events import (
+    CounterexampleFound,
+    Event,
+    PartialAvailable,
+    PhaseFinished,
+    PhaseStarted,
+    RepairRound,
+    SolveFinished,
+)
+
+__all__ = [
+    "CounterexampleFound",
+    "Event",
+    "PartialAvailable",
+    "PhaseFinished",
+    "PhaseStarted",
+    "RepairRound",
+    "SolveFinished",
+]

@@ -1,0 +1,197 @@
+"""The :class:`Problem` half of the façade: input ingestion.
+
+A ``Problem`` wraps a validated :class:`~repro.dqbf.instance.DQBFInstance`
+and remembers where it came from.  It ingests every supported input
+form — DQDIMACS/QDIMACS text, a file path, or an in-memory instance —
+with *content-based* format detection:
+
+* a ``d`` line in the quantifier prefix marks DQDIMACS (explicit Henkin
+  sets are what the format adds);
+* an ``a``/``e``-only prefix is QDIMACS (prenex QBF; nested dependency
+  sets implied by quantifier order);
+* the extensions ``.dqdimacs``, ``.qdimacs`` and ``.dimacs`` are
+  recognized as hints, but content wins: a ``d`` line inside a
+  ``.qdimacs`` file is still parsed as DQDIMACS rather than rejected;
+* input with no ``p cnf`` header (or that fails both parsers) raises a
+  :class:`~repro.utils.errors.ParseError` that says *why*, instead of
+  the old behavior of feeding arbitrary bytes to the DQDIMACS parser.
+"""
+
+import os
+
+from repro.dqbf.instance import DQBFInstance
+from repro.parsing import parse_dqdimacs, parse_qdimacs
+from repro.utils.errors import ParseError
+
+__all__ = ["Problem", "detect_format"]
+
+#: Extension hints for :func:`detect_format`.  ``.dimacs`` maps to
+#: qdimacs: plain DIMACS has no prefix lines at all, and the QDIMACS
+#: reader handles the degenerate purely-existential prefix.
+_EXTENSION_FORMATS = {
+    ".dqdimacs": "dqdimacs",
+    ".qdimacs": "qdimacs",
+    ".dimacs": "qdimacs",
+}
+
+_FORMATS = ("auto", "dqdimacs", "qdimacs")
+
+
+def detect_format(text, path=None):
+    """Return ``"dqdimacs"`` or ``"qdimacs"`` for ``text``.
+
+    Content is sniffed first — the presence of a ``d`` prefix line
+    decides DQDIMACS outright.  For ``a``/``e``-only prefixes (which
+    both formats express identically) the file extension of ``path``
+    breaks the tie, defaulting to ``"qdimacs"``, the more specific
+    format.  Raises :class:`ParseError` when ``text`` has no ``p cnf``
+    header anywhere, with a message naming both accepted formats.
+    """
+    header_seen = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        tokens = line.split()
+        if tokens[0] == "p":
+            header_seen = True
+            continue
+        if tokens[0] == "d":
+            return "dqdimacs"
+        if tokens[0] not in ("a", "e"):
+            # First clause line: the prefix is over, nothing more to
+            # learn from content.
+            break
+    if not header_seen:
+        raise ParseError(
+            "input is neither DQDIMACS nor QDIMACS: no 'p cnf' header "
+            "found%s" % (" in %s" % path if path else ""))
+    if path:
+        ext = os.path.splitext(path)[1].lower()
+        if ext in _EXTENSION_FORMATS:
+            return _EXTENSION_FORMATS[ext]
+    return "qdimacs"
+
+
+class Problem:
+    """One DQBF synthesis problem, however it was supplied.
+
+    Construct with :meth:`from_text`, :meth:`from_file`,
+    :meth:`from_instance` — or :meth:`load`, which dispatches on the
+    input's type (instance, text, or path).  The wrapped instance is
+    validated at construction (``DQBFInstance`` checks dependency sets
+    and variable ranges itself), so a ``Problem`` in hand is always
+    solvable input.
+
+    >>> p = Problem.from_text('''p cnf 2 1
+    ... a 1 0
+    ... d 2 1 0
+    ... 1 2 0
+    ... ''')
+    >>> p.format
+    'dqdimacs'
+    >>> p.num_existentials
+    1
+    """
+
+    __slots__ = ("instance", "format", "source")
+
+    def __init__(self, instance, format=None, source=None):
+        if not isinstance(instance, DQBFInstance):
+            raise TypeError(
+                "Problem wraps a DQBFInstance; for text or paths use "
+                "Problem.from_text / Problem.from_file / Problem.load "
+                "(got %r)" % type(instance).__name__)
+        self.instance = instance
+        self.format = format
+        self.source = source
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_text(cls, text, fmt="auto", name=None, source=None):
+        """Parse (D)QDIMACS ``text``; ``fmt="auto"`` sniffs content."""
+        if fmt not in _FORMATS:
+            raise ParseError("unknown format %r (choose from %s)"
+                             % (fmt, ", ".join(_FORMATS)))
+        if fmt == "auto":
+            fmt = detect_format(text, path=source)
+        parser = parse_qdimacs if fmt == "qdimacs" else parse_dqdimacs
+        return cls(parser(text, name=name), format=fmt, source=source)
+
+    @classmethod
+    def from_file(cls, path, fmt="auto"):
+        """Read and parse a (D)QDIMACS file.
+
+        The instance is named after the file; with ``fmt="auto"`` the
+        content is sniffed and the extension (``.dqdimacs`` /
+        ``.qdimacs`` / ``.dimacs``) only breaks the ``a``/``e``-prefix
+        tie.
+        """
+        with open(path) as handle:
+            text = handle.read()
+        return cls.from_text(text, fmt=fmt,
+                             name=os.path.basename(path), source=path)
+
+    @classmethod
+    def from_instance(cls, instance):
+        """Wrap an in-memory :class:`DQBFInstance`."""
+        return cls(instance, format="instance")
+
+    @classmethod
+    def load(cls, source, fmt="auto"):
+        """Ingest any supported input form.
+
+        * a :class:`Problem` is returned as-is;
+        * a :class:`DQBFInstance` is wrapped;
+        * a string containing a newline (or a ``p cnf`` header) is
+          parsed as (D)QDIMACS text;
+        * any other string is treated as a file path.
+        """
+        if isinstance(source, cls):
+            return source
+        if isinstance(source, DQBFInstance):
+            return cls.from_instance(source)
+        if isinstance(source, str):
+            if "\n" in source or source.lstrip().startswith("p cnf"):
+                return cls.from_text(source, fmt=fmt)
+            return cls.from_file(source, fmt=fmt)
+        raise TypeError(
+            "cannot load a problem from %r (expected Problem, "
+            "DQBFInstance, (D)QDIMACS text, or a file path)"
+            % type(source).__name__)
+
+    # ------------------------------------------------------------------
+    # instance views
+    # ------------------------------------------------------------------
+    @property
+    def name(self):
+        return self.instance.name
+
+    @property
+    def universals(self):
+        return self.instance.universals
+
+    @property
+    def existentials(self):
+        return self.instance.existentials
+
+    @property
+    def dependencies(self):
+        return self.instance.dependencies
+
+    @property
+    def num_universals(self):
+        return self.instance.num_universals
+
+    @property
+    def num_existentials(self):
+        return self.instance.num_existentials
+
+    def stats(self):
+        """Instance statistics (variables, clauses, dependency widths)."""
+        return self.instance.stats()
+
+    def __repr__(self):
+        return "Problem(%r, format=%r)" % (self.name, self.format)

@@ -1,28 +1,27 @@
-"""Argparse front-end for the synthesis engines and benchmark tooling."""
+"""Argparse front-end, built entirely on the :mod:`repro.api` façade.
+
+Every command goes through the public surface: instances load through
+:class:`~repro.api.Problem` (content-based format detection), engines
+run through :class:`~repro.api.Solver` handles, campaigns through
+:func:`repro.api.solve_batch`, and progress rendering subscribes to the
+typed event stream instead of poking engine internals.
+"""
 
 import argparse
 import sys
 
-from repro.core import Status
-from repro.dqbf import check_false_witness, check_henkin_vector
-from repro.formula.aig import write_henkin_aiger
-from repro.formula.verilog import write_henkin_verilog
-from repro.parsing import parse_dqdimacs, parse_qdimacs, write_dqdimacs
+from repro.api import Problem, Solver, Status, engine_names, solve_batch
+from repro.utils.errors import ReproError
 
 
-def _make_engine(name, seed):
-    from repro.portfolio import make_engine
-    from repro.utils.errors import ReproError
-
+def _make_solver(name, seed=None):
     try:
-        return make_engine(name, seed)
+        return Solver(name, seed=seed)
     except ReproError as exc:
         raise SystemExit(str(exc))
 
 
-def _parse_engines(spec):
-    from repro.portfolio import engine_names
-
+def _parse_engine_names(spec):
     names = [name.strip() for name in spec.split(",") if name.strip()]
     if not names:
         raise SystemExit("no engines selected")
@@ -34,38 +33,54 @@ def _parse_engines(spec):
     return names
 
 
-def _load_instance(path, fmt):
-    with open(path) as handle:
-        text = handle.read()
-    if fmt == "auto":
-        fmt = "qdimacs" if path.endswith(".qdimacs") else "dqdimacs"
-    parser = parse_qdimacs if fmt == "qdimacs" else parse_dqdimacs
-    import os
+def _load_problem(path, fmt):
+    try:
+        return Problem.from_file(path, fmt=fmt)
+    except OSError as exc:
+        raise SystemExit(str(exc))
+    except ReproError as exc:
+        raise SystemExit("cannot load %s: %s" % (path, exc))
 
-    return parser(text, name=os.path.basename(path))
+
+def _phase_progress(event):
+    """Event listener rendering pipeline progress on stderr."""
+    if event.kind == "phase_started":
+        print("  phase %-14s ..." % event.phase, file=sys.stderr)
+    elif event.kind == "phase_finished":
+        print("  phase %-14s %8.3f s%s"
+              % (event.phase, event.elapsed,
+                 "  [truncated]" if event.truncated else ""),
+              file=sys.stderr)
+    elif event.kind == "counterexample_found":
+        print("  cex #%d" % (event.iteration + 1), file=sys.stderr)
+    elif event.kind == "partial_available":
+        print("  partial vector: %d functions (%d verified)"
+              % (event.functions, event.verified), file=sys.stderr)
 
 
 def cmd_synth(args):
-    instance = _load_instance(args.file, args.format)
-    engine = _make_engine(args.engine, args.seed)
-    result = engine.run(instance, timeout=args.timeout)
-    print("verdict: %s  (%.3f s)" % (result.status,
-                                     result.stats.get("wall_time", 0.0)),
+    problem = _load_problem(args.file, args.format)
+    solver = _make_solver(args.engine, args.seed)
+    if args.verbose:
+        solver.subscribe(_phase_progress)
+    solution = solver.solve(problem, timeout=args.timeout)
+    print("verdict: %s  (%.3f s)" % (solution.status,
+                                     solution.stats.get("wall_time", 0.0)),
           file=sys.stderr)
-    if result.reason:
-        print("reason: %s" % result.reason, file=sys.stderr)
+    if solution.reason:
+        print("reason: %s" % solution.reason, file=sys.stderr)
 
-    if result.status == Status.FALSE:
-        if result.witness is not None:
-            cert = check_false_witness(instance, result.witness)
+    if solution.status == Status.FALSE:
+        if solution.witness is not None:
+            cert = solution.certify()
             print("falsity witness check: %s"
                   % ("VALID" if cert.valid else "INVALID"),
                   file=sys.stderr)
         return 20
-    if result.status != Status.SYNTHESIZED:
+    if solution.status != Status.SYNTHESIZED:
         return 30
 
-    cert = check_henkin_vector(instance, result.functions)
+    cert = solution.certify()
     print("certificate: %s" % ("VALID" if cert.valid
                                else "INVALID (%s)" % cert.reason),
           file=sys.stderr)
@@ -73,12 +88,12 @@ def cmd_synth(args):
         return 1
 
     if args.output_format == "infix":
-        text = "".join("y%d = %s\n" % (y, result.functions[y].to_infix())
-                       for y in instance.existentials)
+        text = "".join("y%d = %s\n" % (y, solution.functions[y].to_infix())
+                       for y in problem.existentials)
     elif args.output_format == "aiger":
-        text = write_henkin_aiger(instance, result.functions)
+        text = solution.to_aiger()
     else:
-        text = write_henkin_verilog(instance, result.functions)
+        text = solution.to_verilog()
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text)
@@ -89,12 +104,14 @@ def cmd_synth(args):
 
 
 def cmd_info(args):
-    instance = _load_instance(args.file, args.format)
-    stats = instance.stats()
+    problem = _load_problem(args.file, args.format)
+    stats = problem.stats()
+    print("%-14s %s" % ("format", problem.format))
     for key in ("name", "universals", "existentials", "clauses",
                 "min_dep", "max_dep", "skolem"):
         print("%-14s %s" % (key, stats[key]))
-    subset_pairs = sum(1 for _ in instance.dependency_subset_pairs())
+    subset_pairs = sum(1 for _ in
+                       problem.instance.dependency_subset_pairs())
     print("%-14s %d" % ("subset_pairs", subset_pairs))
     return 0
 
@@ -114,6 +131,7 @@ def cmd_gen(args):
         generate_adder_pec_instance,
         generate_comparator_instance,
     )
+    from repro.parsing import write_dqdimacs
 
     makers = {
         "coupled-xor": lambda: generate_coupled_xor_instance(
@@ -167,16 +185,15 @@ def _emit_report(table, output):
 
 def cmd_bench(args):
     from repro.benchgen import build_suite
-    from repro.portfolio import run_portfolio
 
     suite = build_suite(args.suite, seed=args.seed)
-    engines = [_make_engine(name, args.seed)
+    solvers = [_make_solver(name, args.seed)
                for name in ("manthan3", "expansion", "pedant")]
-    table = run_portfolio(suite, engines, timeout=args.timeout,
-                          jobs=args.jobs, seed=args.seed,
-                          progress=_print_progress if args.verbose
-                          else None)
-    _emit_report(table, args.output)
+    batch = solve_batch(suite, solvers, timeout=args.timeout,
+                        jobs=args.jobs, seed=args.seed,
+                        progress=_print_progress if args.verbose
+                        else None)
+    _emit_report(batch.table, args.output)
     return 0
 
 
@@ -184,9 +201,10 @@ def cmd_run_suite(args):
     """Batch campaign: generated suite × engine selection, parallel
     and resumable."""
     from repro.benchgen import build_suite
-    from repro.portfolio import CampaignStore, run_campaign
+    from repro.portfolio import CampaignStore
 
-    engines = _parse_engines(args.engines)
+    names = _parse_engine_names(args.engines)
+    solvers = [_make_solver(name) for name in names]
     suite = build_suite(args.suite, seed=args.seed)
     if args.limit is not None:
         suite = suite[:args.limit]
@@ -199,30 +217,26 @@ def cmd_run_suite(args):
         if args.verbose:
             _print_progress(record)
 
-    from repro.utils.errors import ReproError
-
     try:
-        table = run_campaign(suite, engines, timeout=args.timeout,
-                             jobs=args.jobs, seed=args.seed, store=store,
-                             resume=args.resume, progress=progress)
+        batch = solve_batch(suite, solvers, timeout=args.timeout,
+                            jobs=args.jobs, seed=args.seed, store=store,
+                            resume=args.resume, progress=progress)
     except ReproError as exc:  # e.g. resume parameter mismatch
         raise SystemExit(str(exc))
     # progress fires only for executed runs; every other pair of the
     # campaign was loaded from the store.
-    resumed = len(suite) * len(engines) - executed[0]
+    resumed = len(suite) * len(solvers) - executed[0]
     print("campaign: %d instances x %d engines -> %d runs executed, "
           "%d resumed (jobs=%d)"
-          % (len(suite), len(engines), executed[0], resumed, args.jobs),
+          % (len(suite), len(solvers), executed[0], resumed, args.jobs),
           file=sys.stderr)
     if store is not None:
         print("campaign store: %s" % store.path, file=sys.stderr)
-    _emit_report(table, args.report)
+    _emit_report(batch.table, args.report)
     return 0
 
 
 def build_parser():
-    from repro.portfolio import engine_names
-
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Manthan3 reproduction: Henkin function synthesis "
@@ -239,6 +253,9 @@ def build_parser():
                        choices=["infix", "aiger", "verilog"])
     synth.add_argument("--timeout", type=float, default=None)
     synth.add_argument("--seed", type=int, default=None)
+    synth.add_argument("--verbose", action="store_true",
+                       help="render per-phase progress from the solve "
+                            "event stream")
     synth.add_argument("-o", "--output", default=None)
     synth.set_defaults(func=cmd_synth)
 

@@ -20,6 +20,7 @@ trajectory-equivalent — same statuses *and* same functions.
 """
 
 from repro.core.config import Manthan3Config
+from repro.utils.errors import OperationCancelled
 from repro.utils.rng import make_rng, spawn
 from repro.utils.timer import Deadline, Stopwatch
 
@@ -87,9 +88,16 @@ class SynthesisContext:
         fixed + self-substituted), the stagnation counter, and the
         current loop iteration (which seeds the per-iteration RNG
         spawns).
+    listeners / cancel:
+        The run's observation and interruption channels
+        (:mod:`repro.api`): subscribed event listeners (emission is a
+        no-op without any) and an optional
+        :class:`~repro.api.CancellationToken` polled at phase and
+        repair-iteration boundaries.
     """
 
-    def __init__(self, instance, config=None, deadline=None):
+    def __init__(self, instance, config=None, deadline=None,
+                 listeners=None, cancel=None):
         self.instance = instance
         self.config = config or Manthan3Config()
         self.run_deadline = deadline or Deadline(None)
@@ -118,6 +126,32 @@ class SynthesisContext:
         self.non_repairable = None
         self.stagnation = 0
         self.iteration = 0
+        self.listeners = tuple(listeners or ())
+        self.cancel = cancel
+
+    # ------------------------------------------------------------------
+    # observation and interruption (the repro.api channels)
+    # ------------------------------------------------------------------
+    def emit(self, event):
+        """Deliver ``event`` to every subscribed listener.
+
+        Listener exceptions are isolated — observation must never alter
+        a solve's trajectory — and counted under
+        ``stats["listener_errors"]``.  Emission sites guard with
+        ``if ctx.listeners:`` so an unobserved run never even
+        constructs the event object.
+        """
+        for listener in self.listeners:
+            try:
+                listener(event)
+            except Exception:
+                self.stats["listener_errors"] = \
+                    self.stats.get("listener_errors", 0) + 1
+
+    def check_cancelled(self):
+        """Raise :class:`OperationCancelled` once the token fired."""
+        if self.cancel is not None and self.cancel.cancelled:
+            raise OperationCancelled()
 
     # ------------------------------------------------------------------
     # rng discipline

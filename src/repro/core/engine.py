@@ -38,6 +38,9 @@ class Manthan3:
     """
 
     name = "manthan3"
+    #: The staged pipeline emits the :mod:`repro.api` event stream;
+    #: portfolio workers check this before wiring an IPC relay.
+    supports_events = True
 
     def __init__(self, config=None, phases=None):
         self.config = config or Manthan3Config()
@@ -55,15 +58,22 @@ class Manthan3:
                         "%s)" % (field, name,
                                  ", ".join(self.pipeline.phase_names())))
 
-    def run(self, instance, timeout=None):
+    def run(self, instance, timeout=None, listeners=None, cancel=None):
         """Synthesize Henkin functions for ``instance``.
 
         ``timeout`` (seconds) bounds the whole run; budget exhaustion
         yields ``Status.TIMEOUT`` carrying the accumulated stats and
         the best-so-far candidates as anytime partials.
+
+        ``listeners`` (callables, each invoked with every
+        :mod:`repro.core.events` event) observe the run;  ``cancel`` (a
+        :class:`~repro.api.CancellationToken`) interrupts it at the
+        next phase or repair-iteration boundary with a partial-bearing
+        ``CANCELLED`` result.  Neither affects the solve trajectory.
         """
         ctx = SynthesisContext(instance, self.config,
-                               deadline=Deadline(timeout))
+                               deadline=Deadline(timeout),
+                               listeners=listeners, cancel=cancel)
         return self.pipeline.execute(ctx)
 
 

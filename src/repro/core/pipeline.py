@@ -31,6 +31,14 @@ same statuses *and* functions (asserted by
 
 from repro.core.candidates import run_learning
 from repro.core.context import Finish
+from repro.core.events import (
+    CounterexampleFound,
+    PartialAvailable,
+    PhaseFinished,
+    PhaseStarted,
+    RepairRound,
+    SolveFinished,
+)
 from repro.core.order import run_find_order, substitute_candidates
 from repro.core.preprocess import run_preprocess
 from repro.core.repair import run_repair
@@ -41,7 +49,11 @@ from repro.core.verifier import run_verify
 from repro.formula.bitvec import SampleMatrix
 from repro.formula.simplify import propagate_units
 from repro.sampling import Sampler
-from repro.utils.errors import ReproError, ResourceBudgetExceeded
+from repro.utils.errors import (
+    OperationCancelled,
+    ReproError,
+    ResourceBudgetExceeded,
+)
 from repro.utils.timer import Stopwatch
 
 __all__ = ["DEFAULT_PHASE_NAMES", "PHASES", "Phase", "Pipeline"]
@@ -160,6 +172,7 @@ def verify_repair(ctx):
         # overwrite it with the same value).
         ctx.stats["repair_iterations"] = iteration
         ctx.deadline.check()
+        ctx.check_cancelled()
         outcome = run_verify(ctx)
         if outcome.verdict == "VALID":
             final = substitute_candidates(instance, ctx.candidates,
@@ -171,6 +184,9 @@ def verify_repair(ctx):
             return Finish(Status.FALSE,
                           reason="X assignment admits no Y extension",
                           witness=outcome.sigma_x)
+        if ctx.listeners:
+            ctx.emit(CounterexampleFound(iteration,
+                                         dict(outcome.sigma_x)))
         if iteration == config.max_repair_iterations:
             break
         modified = run_repair(ctx, outcome.sigma_x)
@@ -180,13 +196,15 @@ def verify_repair(ctx):
             run_self_substitution(ctx)
         if modified == 0:
             ctx.stagnation += 1
-            if ctx.stagnation >= config.stagnation_limit:
-                ctx.stats["repair_iterations"] = iteration + 1
-                return Finish(
-                    Status.UNKNOWN,
-                    reason="repair stagnated (incompleteness, paper §5)")
         else:
             ctx.stagnation = 0
+        if ctx.listeners:
+            ctx.emit(RepairRound(iteration, modified, ctx.stagnation))
+        if modified == 0 and ctx.stagnation >= config.stagnation_limit:
+            ctx.stats["repair_iterations"] = iteration + 1
+            return Finish(
+                Status.UNKNOWN,
+                reason="repair stagnated (incompleteness, paper §5)")
     ctx.stats["repair_iterations"] = config.max_repair_iterations
     return Finish(Status.UNKNOWN,
                   reason="repair iteration budget exhausted")
@@ -223,13 +241,29 @@ class Pipeline:
         layer: a phase sub-budget truncates the phase and moves on, the
         global deadline finishes the run as ``TIMEOUT`` — in both cases
         with the context's accumulated stats and anytime partials
+        intact.  ``OperationCancelled`` (the caller's cancellation
+        token, polled before every phase and at each verify–repair
+        iteration) likewise ends the run as ``CANCELLED`` with partials
         intact.
+
+        Subscribed listeners receive :class:`PhaseStarted` /
+        :class:`PhaseFinished` around every phase,
+        :class:`CounterexampleFound` / :class:`RepairRound` from the
+        loop, and :class:`PartialAvailable` / :class:`SolveFinished` at
+        the end; with no listeners no event object is even constructed.
         """
         ctx.stopwatch.start()
         timings = ctx.stats.setdefault("phases", {})
         finish = None
         for phase in self.phases:
+            if ctx.cancel is not None and ctx.cancel.cancelled:
+                finish = Finish(Status.CANCELLED,
+                                reason="cancelled by caller")
+                break
             bounded = ctx.enter_phase(phase.name)
+            truncated = False
+            if ctx.listeners:
+                ctx.emit(PhaseStarted(phase.name))
             watch = Stopwatch().start()
             try:
                 if bounded and ctx.deadline.expired() \
@@ -237,6 +271,9 @@ class Pipeline:
                     raise ResourceBudgetExceeded(
                         "phase %r budget pre-exhausted" % phase.name)
                 outcome = phase.run(ctx)
+            except OperationCancelled:
+                outcome = Finish(Status.CANCELLED,
+                                 reason="cancelled by caller")
             except ResourceBudgetExceeded:
                 if bounded and not ctx.run_deadline.expired():
                     # Only this phase's sub-budget died: truncate it and
@@ -244,12 +281,16 @@ class Pipeline:
                     ctx.stats.setdefault("phases_truncated",
                                          []).append(phase.name)
                     outcome = None
+                    truncated = True
                 else:
                     outcome = Finish(Status.TIMEOUT,
                                      reason="budget exhausted")
             finally:
                 elapsed = timings.get(phase.name, 0.0) + watch.stop()
                 timings[phase.name] = round(elapsed, 6)
+            if ctx.listeners:
+                ctx.emit(PhaseFinished(phase.name, elapsed,
+                                       truncated=truncated))
             if isinstance(outcome, Finish):
                 finish = outcome
                 break
@@ -277,11 +318,18 @@ class Pipeline:
         result = SynthesisResult(finish.status, functions=finish.functions,
                                  stats=stats, reason=finish.reason,
                                  witness=finish.witness)
-        if finish.status in (Status.TIMEOUT, Status.UNKNOWN):
+        if finish.status in (Status.TIMEOUT, Status.UNKNOWN,
+                             Status.CANCELLED):
             partials, verified = ctx.partial_snapshot()
             result.partial_functions = partials
             result.partial_verified = verified
             if partials is not None:
                 stats["partial"] = {"functions": len(partials),
                                     "verified": verified}
+        if ctx.listeners:
+            if result.partial_functions is not None:
+                ctx.emit(PartialAvailable(len(result.partial_functions),
+                                          result.partial_verified))
+            ctx.emit(SolveFinished(result.status, result.reason,
+                                   stats["wall_time"]))
         return result

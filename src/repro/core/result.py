@@ -9,6 +9,10 @@ class Status:
     * ``UNKNOWN`` — the engine gave up for an algorithmic reason
       (Manthan3's incompleteness, expansion blow-up guard, …);
     * ``TIMEOUT`` — a wall-clock/conflict budget expired;
+    * ``CANCELLED`` — the caller's
+      :class:`~repro.api.CancellationToken` fired mid-solve; like
+      TIMEOUT the result carries accumulated stats and anytime
+      partials;
     * ``INVALID`` — assigned by the portfolio runner (never by an
       engine) when a claimed vector or falsity witness fails
       independent certification.
@@ -18,6 +22,7 @@ class Status:
     FALSE = "FALSE"
     UNKNOWN = "UNKNOWN"
     TIMEOUT = "TIMEOUT"
+    CANCELLED = "CANCELLED"
     INVALID = "INVALID"
 
 
@@ -44,7 +49,7 @@ class SynthesisResult:
         expansion).
     partial_functions:
         Anytime partial result, attached by the staged pipeline to
-        ``TIMEOUT``/``UNKNOWN`` verdicts: the best-so-far candidate
+        ``TIMEOUT``/``UNKNOWN``/``CANCELLED`` verdicts: the best-so-far candidate
         vector, grounded to mention only universal variables (same form
         as ``functions``).  These are *candidates*, not certified
         Henkin functions — callers that serve them must treat them as

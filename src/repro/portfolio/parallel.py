@@ -175,14 +175,34 @@ class _Job:
         self.seed = seed
 
 
-def _execute_job(job, timeout, certify, certificate_budget):
-    engine = job.engine
-    if engine is None:
-        engine = make_engine(job.engine_name, job.seed)
-    result = engine.run(job.instance, timeout=timeout)
-    return evaluate_run(job.engine_name, job.instance, result,
+def _execute_job(job, timeout, certify, certificate_budget,
+                 listener=None, cancel=None, keep_result=False,
+                 engine_done=None):
+    """Run one job through the :mod:`repro.api` façade.
+
+    Both the serial scheduler and the pool workers execute here: the
+    engine is wrapped in (or rebuilt through) an
+    :class:`~repro.api.Solver`, ``listener`` observes the solve's typed
+    event stream, and ``engine_done`` (if given) is invoked between the
+    engine run and certification — the worker's kill-exemption marker.
+    """
+    from repro.api.problem import Problem
+    from repro.api.solver import Solver
+
+    if job.engine is None:
+        solver = Solver(job.engine_name, seed=job.seed)
+    else:
+        solver = Solver(job.engine, name=job.engine_name)
+    if listener is not None:
+        solver.subscribe(listener)
+    solution = solver.solve(Problem.from_instance(job.instance),
+                            timeout=timeout, cancel=cancel)
+    if engine_done is not None:
+        engine_done()
+    return evaluate_run(job.engine_name, job.instance, solution.result,
                         certify=certify,
-                        certificate_budget=certificate_budget)
+                        certificate_budget=certificate_budget,
+                        keep_result=keep_result)
 
 
 #: Phase marker a worker sends once its engine run is over: the job is
@@ -193,18 +213,23 @@ def _execute_job(job, timeout, certify, certificate_budget):
 #: ``jobs=1``, breaking the equal-results-for-any-jobs guarantee.
 _ENGINE_DONE = "engine-done"
 
+#: Tag of an event message a worker relays up its pipe (followed by the
+#: pickled :class:`repro.core.events.Event`); the parent stamps the
+#: job identity on it and forwards it to the campaign's ``event_sink``.
+_EVENT_TAG = "repro-event"
 
-def _worker_main(job, timeout, certify, certificate_budget, conn):
+
+def _worker_main(job, timeout, certify, certificate_budget, conn,
+                 relay_events=False, keep_result=False):
     """Pool worker: run one job, send its record up the private pipe."""
     try:
-        engine = job.engine
-        if engine is None:
-            engine = make_engine(job.engine_name, job.seed)
-        result = engine.run(job.instance, timeout=timeout)
-        conn.send(_ENGINE_DONE)
-        record = evaluate_run(job.engine_name, job.instance, result,
-                              certify=certify,
-                              certificate_budget=certificate_budget)
+        listener = None
+        if relay_events:
+            def listener(event):
+                conn.send((_EVENT_TAG, event))
+        record = _execute_job(job, timeout, certify, certificate_budget,
+                              listener=listener, keep_result=keep_result,
+                              engine_done=lambda: conn.send(_ENGINE_DONE))
     except Exception as exc:  # engine bug: report, don't sink the pool
         record = RunRecord(job.engine_name, job.instance.name,
                            Status.UNKNOWN, 0.0,
@@ -222,10 +247,28 @@ def _worker_main(job, timeout, certify, certificate_budget, conn):
 # ----------------------------------------------------------------------
 # schedulers
 # ----------------------------------------------------------------------
-def _run_serial(jobs, timeout, certify, certificate_budget, emit):
+def _run_serial(jobs, timeout, certify, certificate_budget, emit,
+                event_sink=None, cancel=None, keep_result=False):
     for job in jobs:
+        if cancel is not None and cancel.cancelled:
+            emit(job.index, _cancelled_record(job))
+            continue
+        listener = None
+        if event_sink is not None:
+            def listener(event, _job=job):
+                event_sink(_job.engine_name, _job.instance.name, event)
         emit(job.index,
-             _execute_job(job, timeout, certify, certificate_budget))
+             _execute_job(job, timeout, certify, certificate_budget,
+                          listener=listener, cancel=cancel,
+                          keep_result=keep_result))
+
+
+def _cancelled_record(job, started=False):
+    return RunRecord(
+        job.engine_name, job.instance.name, Status.CANCELLED, 0.0,
+        reason="campaign cancelled %s" % ("mid-run" if started
+                                          else "before start"),
+        stats={"cancelled": True})
 
 
 def _killed_record(job, timeout, kill_grace):
@@ -245,12 +288,16 @@ def _crashed_record(job, exitcode):
 
 
 def _run_pool(jobs, timeout, certify, certificate_budget, num_workers,
-              kill_grace, emit):
+              kill_grace, emit, event_sink=None, cancel=None,
+              keep_result=False):
     """Fan jobs over ``num_workers`` forked processes.
 
     Each worker reports over its own pipe (no shared queue, so killing
     a hung worker cannot poison anyone else's channel).  The parent
-    loop launches, drains, and enforces the hard per-run deadline.
+    loop launches, drains, relays worker events to ``event_sink``, and
+    enforces the hard per-run deadline.  ``cancel`` aborts at job
+    granularity: pending jobs are skipped and running workers
+    terminated, all recorded as ``CANCELLED``.
     """
     ctx = multiprocessing.get_context(
         "fork" if "fork" in multiprocessing.get_all_start_methods()
@@ -266,13 +313,24 @@ def _run_pool(jobs, timeout, certify, certificate_budget, num_workers,
 
     try:
         while pending or running:
+            if cancel is not None and cancel.cancelled:
+                while pending:
+                    job = pending.popleft()
+                    emit(job.index, _cancelled_record(job))
+                for index, entry in list(running.items()):
+                    process, _conn, job = entry[0], entry[1], entry[2]
+                    if process.is_alive():
+                        process.terminate()
+                    finish(index, _cancelled_record(job, started=True))
+                break
             while pending and len(running) < num_workers:
                 job = pending.popleft()
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
                 process = ctx.Process(
                     target=_worker_main,
                     args=(job, timeout, certify, certificate_budget,
-                          child_conn),
+                          child_conn, event_sink is not None,
+                          keep_result),
                     daemon=True)
                 process.start()
                 child_conn.close()  # parent keeps only the read end
@@ -289,11 +347,20 @@ def _run_pool(jobs, timeout, certify, certificate_budget, num_workers,
                     except (EOFError, OSError):
                         message = _crashed_record(job, process.exitcode)
                     if message == _ENGINE_DONE:
-                        entry[3] = None  # certifying: engine kill off
+                        entry[3] = started = None  # certifying: kill off
+                    elif isinstance(message, tuple) and len(message) == 2 \
+                            and message[0] == _EVENT_TAG:
+                        if event_sink is not None:
+                            event_sink(job.engine_name, job.instance.name,
+                                       message[1])
                     else:
                         finish(index, message)
+                        continue
                     progressed = True
-                elif timeout is not None and started is not None \
+                # The hard deadline is evaluated even when the pipe had
+                # a (non-terminal) message: a runaway engine that keeps
+                # streaming events must not shield itself from the kill.
+                if timeout is not None and started is not None \
                         and now - started > timeout + kill_grace:
                     process.terminate()
                     process.join()
@@ -324,7 +391,8 @@ def _run_pool(jobs, timeout, certify, certificate_budget, num_workers,
 def run_campaign(instances, engines, timeout=None, certify=True,
                  certificate_budget=200_000, jobs=1, seed=None,
                  store=None, resume=False, progress=None,
-                 kill_grace=DEFAULT_KILL_GRACE):
+                 kill_grace=DEFAULT_KILL_GRACE, event_sink=None,
+                 cancel=None, keep_results=False):
     """Run the full (engine × instance) campaign; return a ResultTable.
 
     ``engines`` entries may be engine *names* (strings) — built fresh
@@ -339,6 +407,14 @@ def run_campaign(instances, engines, timeout=None, certify=True,
     path) persists each record as it completes.  With ``resume=True``,
     pairs already in the store are loaded instead of re-executed —
     ``progress`` fires only for executed runs.
+
+    ``event_sink`` (``(engine_name, instance_name, event) -> None``)
+    receives every typed solve event (:mod:`repro.core.events`) of
+    every job — directly for ``jobs == 1``, relayed over the worker
+    pipes otherwise.  ``cancel`` (a
+    :class:`~repro.api.CancellationToken`) aborts the campaign at job
+    granularity; ``keep_results=True`` attaches each engine's full
+    ``SynthesisResult`` to its record (the ``repro.api`` batch path).
 
     The returned table lists records in deterministic
     instance-major/engine-minor order regardless of completion order.
@@ -391,7 +467,10 @@ def run_campaign(instances, engines, timeout=None, certify=True,
 
     def emit(index, record):
         executed[index] = record
-        if store is not None:
+        # CANCELLED is not an outcome, it is the absence of one: never
+        # persist it, so a resumed campaign re-executes exactly the
+        # jobs the cancellation skipped.
+        if store is not None and record.status != Status.CANCELLED:
             store.append(record)
         if progress is not None:
             progress(record)
@@ -403,10 +482,14 @@ def run_campaign(instances, engines, timeout=None, certify=True,
         if jobs_list:
             if jobs > 1:
                 _run_pool(jobs_list, timeout, certify,
-                          certificate_budget, jobs, kill_grace, emit)
+                          certificate_budget, jobs, kill_grace, emit,
+                          event_sink=event_sink, cancel=cancel,
+                          keep_result=keep_results)
             else:
                 _run_serial(jobs_list, timeout, certify,
-                            certificate_budget, emit)
+                            certificate_budget, emit,
+                            event_sink=event_sink, cancel=cancel,
+                            keep_result=keep_results)
     finally:
         if store is not None:
             store.close()

@@ -29,13 +29,20 @@ class RunRecord:
     * ``None``  — nothing was checked: certification was disabled, the
       verdict carries no certificate (``UNKNOWN``/``TIMEOUT``, or a
       ``FALSE`` proved without a witness), or the worker never reported.
+
+    ``result`` optionally carries the engine's full
+    :class:`~repro.core.result.SynthesisResult` (functions included) —
+    populated by ``evaluate_run(..., keep_result=True)``, which the
+    ``repro.api`` batch path uses so ``solve_batch`` solutions expose
+    their function vectors.  It is *not* persisted by the campaign
+    store (expressions do not serialize to the JSONL schema).
     """
 
     __slots__ = ("engine", "instance", "status", "time", "reason",
-                 "certified", "stats")
+                 "certified", "stats", "result")
 
     def __init__(self, engine, instance, status, time, reason="",
-                 certified=None, stats=None):
+                 certified=None, stats=None, result=None):
         self.engine = engine
         self.instance = instance
         self.status = status
@@ -43,6 +50,7 @@ class RunRecord:
         self.reason = reason
         self.certified = certified
         self.stats = stats or {}
+        self.result = result
 
     @property
     def solved(self):
@@ -108,7 +116,7 @@ class ResultTable:
 
 
 def evaluate_run(engine_name, instance, result, certify=True,
-                 certificate_budget=200_000):
+                 certificate_budget=200_000, keep_result=False):
     """Turn one engine :class:`SynthesisResult` into a :class:`RunRecord`.
 
     This is the single certification gate shared by the sequential
@@ -120,6 +128,9 @@ def evaluate_run(engine_name, instance, result, certify=True,
     * ``FALSE`` verdicts carrying an inextensibility witness are
       re-checked with :func:`check_false_witness`;
     * a failed check rewrites the status to ``INVALID``.
+
+    ``keep_result=True`` attaches the full ``SynthesisResult`` to the
+    record (see :class:`RunRecord`).
     """
     certified = None
     if certify and result.status == Status.SYNTHESIZED:
@@ -139,6 +150,7 @@ def evaluate_run(engine_name, instance, result, certify=True,
         reason=result.reason,
         certified=certified,
         stats=result.stats,
+        result=result if keep_result else None,
     )
 
 

@@ -32,3 +32,15 @@ class ResourceBudgetExceeded(ReproError):
     def __init__(self, message="resource budget exceeded", budget=None):
         super().__init__(message)
         self.budget = budget
+
+
+class OperationCancelled(ReproError):
+    """The caller's :class:`~repro.api.CancellationToken` fired.
+
+    Raised by the synthesis context's cancellation check and handled at
+    the pipeline layer, which converts it into a ``CANCELLED`` result
+    carrying the run's anytime partials.
+    """
+
+    def __init__(self, message="operation cancelled by caller"):
+        super().__init__(message)

@@ -1,0 +1,75 @@
+"""Deprecation shims: the pre-façade entry points keep working, warn,
+and route through the new API."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.benchgen import generate_planted_instance
+
+
+def _instance():
+    return generate_planted_instance(
+        num_universals=14, num_existentials=3, dep_width=12,
+        region_width=3, rules_per_y=4, seed=40)
+
+
+class TestSynthesizeShim:
+    def test_warns_and_names_the_replacement(self):
+        with pytest.warns(DeprecationWarning,
+                          match="repro.api.solve") as caught:
+            synthesize = repro.synthesize
+        assert "deprecated" in str(caught[0].message)
+        assert callable(synthesize)
+
+    def test_routes_through_the_facade(self):
+        from repro.api import Solver
+        from repro.core import Manthan3Config, SynthesisResult
+
+        inst = _instance()
+        with pytest.warns(DeprecationWarning):
+            old = repro.synthesize(inst,
+                                   config=Manthan3Config(seed=9),
+                                   timeout=60)
+        assert isinstance(old, SynthesisResult)  # old return type kept
+        new = Solver("manthan3", seed=9).solve(inst, timeout=60)
+        assert old.status == new.status
+        assert {y: f.to_infix() for y, f in old.functions.items()} \
+            == {y: f.to_infix() for y, f in new.functions.items()}
+
+
+class TestManthan3Shim:
+    def test_warns_and_names_the_replacement(self):
+        with pytest.warns(DeprecationWarning,
+                          match="repro.api.Solver") as caught:
+            cls = repro.Manthan3
+        assert "deprecated" in str(caught[0].message)
+        from repro.core import Manthan3
+
+        assert cls is Manthan3  # existing constructions keep working
+
+    def test_constructed_engine_still_runs(self):
+        with pytest.warns(DeprecationWarning):
+            engine = repro.Manthan3()
+        result = engine.run(_instance(), timeout=60)
+        assert result.synthesized
+
+
+class TestNewSurfaceIsWarningFree:
+    def test_facade_names_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            repro.Problem
+            repro.Solver
+            repro.Solution
+            repro.CancellationToken
+            repro.solve
+            repro.solve_batch
+            repro.api
+            repro.Manthan3Config
+            repro.Status
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist

@@ -1,0 +1,138 @@
+"""Problem ingestion: content-based format detection and validation."""
+
+import pytest
+
+from repro.api import Problem, detect_format
+from repro.benchgen import generate_pec_instance
+from repro.dqbf.instance import DQBFInstance
+from repro.utils.errors import ParseError
+
+DQDIMACS = """c explicit Henkin sets
+p cnf 3 2
+a 1 0
+d 2 1 0
+d 3 1 0
+1 2 0
+-2 3 0
+"""
+
+QDIMACS = """c prenex QBF
+p cnf 3 2
+a 1 0
+e 2 3 0
+1 2 0
+-2 3 0
+"""
+
+PLAIN_DIMACS = """p cnf 2 2
+1 2 0
+-1 -2 0
+"""
+
+
+class TestDetectFormat:
+    def test_d_lines_mean_dqdimacs(self):
+        assert detect_format(DQDIMACS) == "dqdimacs"
+
+    def test_ae_prefix_defaults_to_qdimacs(self):
+        assert detect_format(QDIMACS) == "qdimacs"
+
+    def test_plain_dimacs_is_qdimacs(self):
+        assert detect_format(PLAIN_DIMACS) == "qdimacs"
+
+    @pytest.mark.parametrize("path,expected", [
+        ("suite/x.dqdimacs", "dqdimacs"),
+        ("suite/x.qdimacs", "qdimacs"),
+        ("suite/x.dimacs", "qdimacs"),
+        ("suite/x.DQDIMACS", "dqdimacs"),
+        ("suite/x.cnf", "qdimacs"),
+    ])
+    def test_extension_breaks_the_ae_tie(self, path, expected):
+        assert detect_format(QDIMACS, path=path) == expected
+
+    def test_content_beats_extension(self):
+        # A d-line is DQDIMACS whatever the file is called; the QDIMACS
+        # parser would reject it.
+        assert detect_format(DQDIMACS, path="x.qdimacs") == "dqdimacs"
+
+    def test_headerless_input_is_rejected_with_a_clear_error(self):
+        with pytest.raises(ParseError, match="no 'p cnf' header"):
+            detect_format("hello world\nthis is not dimacs\n")
+
+    def test_error_names_the_path(self):
+        with pytest.raises(ParseError, match="bad.txt"):
+            detect_format("garbage", path="bad.txt")
+
+
+class TestFromText:
+    def test_auto_parses_both_formats(self):
+        dq = Problem.from_text(DQDIMACS)
+        q = Problem.from_text(QDIMACS)
+        assert dq.format == "dqdimacs" and q.format == "qdimacs"
+        # Same semantics here: y2/y3 depend on {1} vs on all-left {1}.
+        assert dq.dependencies[2] == q.dependencies[2] == frozenset({1})
+
+    def test_explicit_format_is_honored(self):
+        problem = Problem.from_text(QDIMACS, fmt="dqdimacs")
+        assert problem.format == "dqdimacs"
+        assert sorted(problem.existentials) == [2, 3]
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ParseError, match="unknown format"):
+            Problem.from_text(DQDIMACS, fmt="aiger")
+
+
+class TestFromFile:
+    def test_reads_and_names_after_the_file(self, tmp_path):
+        path = tmp_path / "inst.dqdimacs"
+        path.write_text(DQDIMACS)
+        problem = Problem.from_file(str(path))
+        assert problem.name == "inst.dqdimacs"
+        assert problem.format == "dqdimacs"
+        assert problem.source == str(path)
+
+    def test_qdimacs_named_file_with_d_lines_still_parses(self, tmp_path):
+        # The old CLI loader picked the parser from the extension alone
+        # and fed QDIMACS-named DQBF content to the wrong reader.
+        path = tmp_path / "inst.qdimacs"
+        path.write_text(DQDIMACS)
+        problem = Problem.from_file(str(path))
+        assert problem.format == "dqdimacs"
+        assert problem.dependencies[3] == frozenset({1})
+
+    def test_unparseable_file_gives_a_clear_error(self, tmp_path):
+        path = tmp_path / "junk.dqdimacs"
+        path.write_text("MODULE main\nVAR x : boolean;\n")
+        with pytest.raises(ParseError,
+                           match="neither DQDIMACS nor QDIMACS"):
+            Problem.from_file(str(path))
+
+
+class TestLoad:
+    def test_dispatch(self, tmp_path):
+        inst = generate_pec_instance(seed=1)
+        assert Problem.load(inst).instance is inst
+        problem = Problem.load(DQDIMACS)
+        assert Problem.load(problem) is problem
+        path = tmp_path / "x.dqdimacs"
+        path.write_text(DQDIMACS)
+        assert Problem.load(str(path)).name == "x.dqdimacs"
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError, match="cannot load"):
+            Problem.load(42)
+
+    def test_constructor_rejects_raw_text(self):
+        with pytest.raises(TypeError, match="from_text"):
+            Problem(DQDIMACS)
+
+
+class TestViews:
+    def test_instance_views(self):
+        problem = Problem.from_text(DQDIMACS, name="t")
+        assert isinstance(problem.instance, DQBFInstance)
+        assert problem.num_universals == 1
+        assert problem.num_existentials == 2
+        assert problem.universals == [1]
+        assert problem.stats()["clauses"] == 2
+        assert "dqdimacs" in repr(problem)

@@ -10,14 +10,9 @@ import random
 
 import pytest
 
-from repro import (
-    ExpansionSynthesizer,
-    Manthan3,
-    Manthan3Config,
-    PedantLikeSynthesizer,
-    Status,
-    check_henkin_vector,
-)
+from repro.baselines import ExpansionSynthesizer, PedantLikeSynthesizer
+from repro.core import Manthan3, Manthan3Config, Status
+from repro.dqbf import check_henkin_vector
 
 from tests.conftest import random_small_dqbf
 

@@ -4,13 +4,12 @@ Reproducibility matters for an evaluation artifact; these tests pin it
 for every engine on representative instances.
 """
 
-from repro import (
+from repro.baselines import (
+    BDDSynthesizer,
     ExpansionSynthesizer,
-    Manthan3,
-    Manthan3Config,
     PedantLikeSynthesizer,
 )
-from repro.baselines import BDDSynthesizer
+from repro.core import Manthan3, Manthan3Config
 from repro.benchgen import generate_pec_instance, build_suite
 
 

@@ -75,7 +75,8 @@ class TestRunner:
         assert isinstance(seen[0], RunRecord)
 
     def test_real_engines_smoke(self, paper_example_instance):
-        from repro import ExpansionSynthesizer, Manthan3
+        from repro.baselines import ExpansionSynthesizer
+        from repro.core import Manthan3
 
         table = run_portfolio([paper_example_instance],
                               [Manthan3(), ExpansionSynthesizer()],
