@@ -3,7 +3,12 @@ sessions vs the fresh-solver fallback.
 
 Runs ``Manthan3.run`` over several benchgen families with
 ``incremental`` on and off and records per-family wall time, speedup,
-and the incremental path's oracle counters.  The summary is written to
+and the incremental path's oracle counters.  Every *alternative* SAT
+backend installed (``python-emulated`` always; ``pysat`` when
+python-sat is present) gets its own column — the incremental path
+re-timed with ``sat_backend`` switched — so the recorded trajectory
+shows what each backend costs or buys relative to the reference
+oracle.  The summary is written to
 ``benchmarks/results/engine_loop.json`` so the repo carries a recorded
 perf trajectory (the acceptance bar for the oracle-session work is a
 ≥2× speedup on at least one family).
@@ -26,6 +31,7 @@ from repro.benchgen import (
 )
 from repro.benchgen.succinct_sat import generate_random_succinct_sat
 from repro.core import Manthan3, Manthan3Config
+from repro.sat.backend import available_backends
 
 
 def _families():
@@ -79,10 +85,12 @@ def _loop_timeout():
     return float(os.environ.get("REPRO_BENCH_LOOP_TIMEOUT", "60"))
 
 
-def _time_instance(instance, incremental, repeats, timeout):
+def _time_instance(instance, incremental, repeats, timeout,
+                   sat_backend="python"):
     best = None
     for _ in range(repeats):
-        config = Manthan3Config(seed=7, incremental=incremental)
+        config = Manthan3Config(seed=7, incremental=incremental,
+                                sat_backend=sat_backend)
         engine = Manthan3(config)
         started = time.perf_counter()
         result = engine.run(instance, timeout=timeout)
@@ -103,16 +111,21 @@ def test_engine_loop_incremental_vs_fresh():
     """
     repeats = _loop_repeats()
     timeout = _loop_timeout()
+    alt_backends = [b for b in available_backends() if b != "python"]
     summary = {
         "benchmark": "engine_loop",
         "repeats": repeats,
         "timeout": timeout,
         "seed": 7,
+        "backends": ["python"] + alt_backends,
         "families": {},
     }
     for family, instances in _families().items():
         rows = []
         inc_total = fresh_total = 0.0
+        backend_totals = {b: 0.0 for b in alt_backends}
+        backend_refs = {b: 0.0 for b in alt_backends}
+        backend_agreeing = {b: 0 for b in alt_backends}
         comparable = 0
         oracle = None
         for instance in instances:
@@ -121,6 +134,21 @@ def test_engine_loop_incremental_vs_fresh():
             fresh_s, fresh_result = _time_instance(instance, False,
                                                    repeats, timeout)
             agree = inc_result.status == fresh_result.status
+            backends = {}
+            for backend in alt_backends:
+                b_s, b_result = _time_instance(instance, True, repeats,
+                                               timeout,
+                                               sat_backend=backend)
+                b_agree = b_result.status == inc_result.status
+                backends[backend] = {
+                    "total_s": round(b_s, 4),
+                    "status": b_result.status,
+                    "agrees": b_agree,
+                }
+                if b_agree:
+                    backend_totals[backend] += b_s
+                    backend_refs[backend] += inc_s
+                    backend_agreeing[backend] += 1
             rows.append({
                 "instance": instance.name,
                 "incremental_s": round(inc_s, 4),
@@ -128,6 +156,7 @@ def test_engine_loop_incremental_vs_fresh():
                 "status_incremental": inc_result.status,
                 "status_fresh": fresh_result.status,
                 "comparable": agree,
+                "backends": backends,
             })
             if agree:
                 comparable += 1
@@ -142,6 +171,19 @@ def test_engine_loop_incremental_vs_fresh():
             "fresh_s": round(fresh_total, 4),
             "speedup": round(fresh_total / inc_total, 2)
             if inc_total > 0 else None,
+            # Per-backend cost relative to the reference oracle, over
+            # the instances where the backend agreed on the status
+            # (ratio > 1 means the backend is slower than "python").
+            "backend_cost": {
+                b: {
+                    "total_s": round(backend_totals[b], 4),
+                    "agreeing_instances": backend_agreeing[b],
+                    "vs_python": round(backend_totals[b]
+                                       / backend_refs[b], 2)
+                    if backend_refs[b] > 0 else None,
+                }
+                for b in alt_backends
+            },
             "oracle_last_instance": oracle,
         }
 

@@ -11,12 +11,23 @@ import argparse
 import sys
 
 from repro.api import Problem, Solver, Status, engine_names, solve_batch
+from repro.sat.backend import backend_names
 from repro.utils.errors import ReproError
 
 
-def _make_solver(name, seed=None):
+def _make_solver(name, seed=None, sat_backend=None):
+    overrides = None
+    if sat_backend:
+        from repro.sat.backend import backend_available
+
+        if not backend_available(sat_backend):
+            raise SystemExit(
+                "SAT backend %r is not installed in this environment "
+                "(the 'pysat' backends need the python-sat package)"
+                % sat_backend)
+        overrides = {"sat_backend": sat_backend}
     try:
-        return Solver(name, seed=seed)
+        return Solver(name, seed=seed, overrides=overrides)
     except ReproError as exc:
         raise SystemExit(str(exc))
 
@@ -31,6 +42,14 @@ def _parse_engine_names(spec):
             raise SystemExit("unknown engine %r (choose from %s)"
                              % (name, ", ".join(sorted(known))))
     return names
+
+
+def _is_pipeline_engine(name):
+    """Whether ``--sat-backend`` applies to this engine (baselines in a
+    mixed ``--engines`` list keep their own oracles)."""
+    from repro.portfolio.parallel import ENGINE_SPECS, PipelineEngineSpec
+
+    return isinstance(ENGINE_SPECS.get(name), PipelineEngineSpec)
 
 
 def _load_problem(path, fmt):
@@ -60,7 +79,8 @@ def _phase_progress(event):
 
 def cmd_synth(args):
     problem = _load_problem(args.file, args.format)
-    solver = _make_solver(args.engine, args.seed)
+    solver = _make_solver(args.engine, args.seed,
+                          sat_backend=args.sat_backend)
     if args.verbose:
         solver.subscribe(_phase_progress)
     solution = solver.solve(problem, timeout=args.timeout)
@@ -204,7 +224,10 @@ def cmd_run_suite(args):
     from repro.portfolio import CampaignStore
 
     names = _parse_engine_names(args.engines)
-    solvers = [_make_solver(name) for name in names]
+    solvers = [_make_solver(name,
+                            sat_backend=args.sat_backend
+                            if _is_pipeline_engine(name) else None)
+               for name in names]
     suite = build_suite(args.suite, seed=args.seed)
     if args.limit is not None:
         suite = suite[:args.limit]
@@ -253,6 +276,11 @@ def build_parser():
                        choices=["infix", "aiger", "verilog"])
     synth.add_argument("--timeout", type=float, default=None)
     synth.add_argument("--seed", type=int, default=None)
+    synth.add_argument("--sat-backend", default=None,
+                       choices=backend_names(),
+                       help="SAT oracle backend for pipeline engines "
+                            "(default: the engine spec's own; 'pysat' "
+                            "needs the python-sat package)")
     synth.add_argument("--verbose", action="store_true",
                        help="render per-phase progress from the solve "
                             "event stream")
@@ -292,6 +320,11 @@ def build_parser():
                            help="comma-separated engine names")
     run_suite.add_argument("--timeout", type=float, default=10.0)
     run_suite.add_argument("--seed", type=int, default=0)
+    run_suite.add_argument("--sat-backend", default=None,
+                           choices=backend_names(),
+                           help="SAT oracle backend applied to every "
+                                "pipeline engine in --engines "
+                                "(baselines keep their own oracles)")
     run_suite.add_argument("--jobs", type=int, default=1,
                            help="worker processes (default 1)")
     run_suite.add_argument("--limit", type=int, default=None,

@@ -48,6 +48,17 @@ class Manthan3Config:
         Size guard on the substituted expression.
     sat_conflict_budget:
         Per-oracle-call conflict cap (``None`` = unbounded).
+    sat_backend:
+        Which :mod:`repro.sat.backend` oracle the incremental sessions
+        and the sampler run on: ``"python"`` (the reference CDCL, the
+        default — every environment has it), ``"python-emulated"``
+        (same CDCL behind the generic selector-group emulation layer),
+        or ``"pysat"``/``"pysat:<solver>"`` (the optional python-sat
+        bridge; selecting it without the package installed raises at
+        session construction).  The fresh fallback path
+        (``incremental=False``) always uses the reference solver, and
+        backends that lack weighted-polarity sampling keep the
+        reference solver for the sampler only.
     bitparallel:
         Run learning and repair-side candidate evaluation on the
         bit-parallel simulation substrate
@@ -100,6 +111,7 @@ class Manthan3Config:
                  self_substitution_threshold=12,
                  self_substitution_max_dag=50_000,
                  sat_conflict_budget=None,
+                 sat_backend="python",
                  bitparallel=True,
                  incremental=True,
                  phase_budgets=None,
@@ -121,6 +133,7 @@ class Manthan3Config:
         self.self_substitution_threshold = self_substitution_threshold
         self.self_substitution_max_dag = self_substitution_max_dag
         self.sat_conflict_budget = sat_conflict_budget
+        self.sat_backend = sat_backend
         self.bitparallel = bitparallel
         self.incremental = incremental
         self.phase_budgets = dict(phase_budgets) if phase_budgets else None

@@ -127,7 +127,8 @@ def sample(ctx):
     weighted = ctx.instance.existentials if config.adaptive_sampling else ()
     ctx.sampler = Sampler(ctx.instance.matrix, rng=ctx.spawn(1),
                           weighted_vars=weighted,
-                          incremental=config.incremental)
+                          incremental=config.incremental,
+                          backend=config.sat_backend)
     ctx.samples = ctx.sampler.draw(config.num_samples,
                                    deadline=ctx.deadline,
                                    conflict_budget=ctx.conflict_budget,
@@ -314,6 +315,7 @@ class Pipeline:
                       for name, session in ctx.sessions}
             if ctx.sampler is not None:
                 oracle["sampler"] = ctx.sampler.stats()
+            oracle["backend"] = ctx.config.sat_backend
             stats["oracle"] = oracle
         result = SynthesisResult(finish.status, functions=finish.functions,
                                  stats=stats, reason=finish.reason,

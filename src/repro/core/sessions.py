@@ -25,11 +25,20 @@ Both sessions expose ``stats()`` so the engine can report per-oracle
 call/conflict/encode-reuse counters.  The fresh-solver path
 (``Manthan3Config.incremental=False``) bypasses this module entirely,
 which is what the equivalence suite tests against.
+
+Both sessions are written against the :class:`~repro.sat.backend.
+SatBackend` protocol, not the concrete CDCL: ``Manthan3Config.
+sat_backend`` selects the oracle implementation (the reference
+``python`` backend by default), and everything a session touches —
+groups, assumptions, cores, budgets, the ``stats()`` counters — is
+protocol surface, so an alternative backend drops in without changes
+here.
 """
 
 from repro.formula.tseitin import SolverSink, TseitinEncoder, \
     negated_cnf_expr
-from repro.sat.solver import Solver, UNSAT
+from repro.sat.backend import make_backend
+from repro.sat.solver import UNSAT
 from repro.utils.rng import spawn
 
 __all__ = ["VerifierSession", "MatrixSession", "build_sessions"]
@@ -40,15 +49,19 @@ def build_sessions(ctx):
 
     A no-op on the fresh path (``config.incremental=False``); otherwise
     builds one :class:`MatrixSession` and one :class:`VerifierSession`
-    seeded from the context's dedicated oracle stream, so the root
-    sampler/preprocess/loop streams are untouched either way.
+    on the configured SAT backend, seeded from the context's dedicated
+    oracle stream, so the root sampler/preprocess/loop streams are
+    untouched either way.
     """
     if not ctx.config.incremental:
         return
+    backend = ctx.config.sat_backend
     ctx.matrix_session = MatrixSession(ctx.instance.matrix,
-                                       rng=spawn(ctx.oracle_rng, 1))
+                                       rng=spawn(ctx.oracle_rng, 1),
+                                       backend=backend)
     ctx.verifier_session = VerifierSession(ctx.instance,
-                                           rng=spawn(ctx.oracle_rng, 2))
+                                           rng=spawn(ctx.oracle_rng, 2),
+                                           backend=backend)
     ctx.sessions = [("matrix", ctx.matrix_session),
                     ("verifier", ctx.verifier_session)]
 
@@ -63,11 +76,13 @@ class VerifierSession:
     rng:
         Seed or RNG for the solver's randomized heuristics (fixed for
         the session's lifetime).
+    backend:
+        :mod:`repro.sat.backend` name of the oracle implementation.
     """
 
-    def __init__(self, instance, rng=None):
+    def __init__(self, instance, rng=None, backend="python"):
         self.instance = instance
-        self.solver = Solver(rng=rng)
+        self.solver = make_backend(backend, rng=rng)
         self.solver.ensure_vars(instance.matrix.num_vars)
         self._sink = SolverSink(self.solver)
         self.encoder = TseitinEncoder(self._sink)
@@ -112,9 +127,10 @@ class VerifierSession:
         return self.solver.model
 
     def stats(self):
+        counters = self.solver.stats()
         return {
             "calls": self.calls,
-            "conflicts": self.solver.conflicts,
+            "conflicts": counters["conflicts"],
             "groups_released": self.groups_released,
             "encode_hits": self.encoder.hits,
             "encode_misses": self.encoder.misses,
@@ -136,9 +152,9 @@ class MatrixSession:
     retired candidate the rest of the loop carries for that variable.
     """
 
-    def __init__(self, matrix, rng=None):
+    def __init__(self, matrix, rng=None, backend="python"):
         self.matrix = matrix
-        self.solver = Solver(matrix, rng=rng)
+        self.solver = make_backend(backend, matrix, rng=rng)
         self.calls = {}
         self._dual_group = None
         self._prime = None     # var -> primed copy var
@@ -225,5 +241,5 @@ class MatrixSession:
 
     def stats(self):
         out = {"calls_%s" % k: v for k, v in sorted(self.calls.items())}
-        out["conflicts"] = self.solver.conflicts
+        out["conflicts"] = self.solver.stats()["conflicts"]
         return out

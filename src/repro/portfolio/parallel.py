@@ -33,6 +33,7 @@ from collections import deque
 
 from repro.core.result import Status
 from repro.portfolio.runner import ResultTable, RunRecord, evaluate_run
+from repro.sat.backend import backend_available
 from repro.utils.errors import ReproError
 
 #: Seconds past the per-run budget before the parent kills a worker
@@ -107,6 +108,11 @@ ENGINE_SPECS = {spec.name: spec for spec in (
         "manthan3-rowwise", overrides={"bitparallel": False},
         description="dict-row learning (bit-parallel A/B baseline)"),
     PipelineEngineSpec(
+        "manthan3-emulated",
+        overrides={"sat_backend": "python-emulated"},
+        description="oracle on the selector-emulated group layer "
+                    "(SatBackend A/B baseline)"),
+    PipelineEngineSpec(
         "manthan3-nopre",
         phases=("unit_fastpath", "sample", "learn", "order",
                 "verify_repair"),
@@ -123,6 +129,15 @@ ENGINE_SPECS = {spec.name: spec for spec in (
     BaselineEngineSpec("bdd", "BDDSynthesizer",
                        description="BDD-based synthesis"),
 )}
+
+# The PySAT-backed engine exists only where python-sat is installed, so
+# engine_names() always lists exactly what this environment can build
+# (the CI backend leg installs the package and campaigns it).
+if backend_available("pysat"):
+    ENGINE_SPECS["manthan3-pysat"] = PipelineEngineSpec(
+        "manthan3-pysat", overrides={"sat_backend": "pysat"},
+        description="oracle on the native PySAT backend "
+                    "(requires python-sat)")
 
 
 def engine_names():

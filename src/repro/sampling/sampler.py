@@ -1,7 +1,8 @@
 """Randomized CDCL sampling with adaptive polarity weighting."""
 
 from repro.formula.bitvec import SampleMatrix
-from repro.sat.solver import Solver, SAT, UNSAT
+from repro.sat.backend import backend_capabilities, make_backend
+from repro.sat.solver import SAT, UNSAT
 from repro.utils.errors import ResourceBudgetExceeded
 from repro.utils.rng import make_rng, spawn
 
@@ -31,10 +32,17 @@ class Sampler:
         comes from the randomized polarity/branching, not from
         rebuilding.  ``False`` restores the fresh-solver-per-draw
         fallback.
+    backend:
+        :mod:`repro.sat.backend` name of the sampling oracle.  Sampling
+        needs the weighted-polarity heuristics, so a backend that does
+        not advertise the ``"weighted_polarity"`` capability (e.g.
+        ``pysat``) silently keeps the reference ``python`` solver; the
+        backend actually used is reported by :meth:`stats`.
     """
 
     def __init__(self, cnf, rng=None, weighted_vars=(), pilot=10,
-                 bias_floor=0.1, bias_ceiling=0.9, incremental=True):
+                 bias_floor=0.1, bias_ceiling=0.9, incremental=True,
+                 backend="python"):
         self.cnf = cnf
         self.rng = make_rng(rng)
         self.weighted_vars = list(weighted_vars)
@@ -42,6 +50,9 @@ class Sampler:
         self.bias_floor = bias_floor
         self.bias_ceiling = bias_ceiling
         self.incremental = incremental
+        self.backend = backend \
+            if "weighted_polarity" in backend_capabilities(backend) \
+            else "python"
         self._weights = {}
         self._true_counts = {v: 0 for v in self.weighted_vars}
         self._drawn = 0
@@ -50,7 +61,8 @@ class Sampler:
         self.calls = 0
 
     def _build_solver(self, salt):
-        return Solver(
+        return make_backend(
+            self.backend,
             self.cnf,
             rng=spawn(self.rng, salt),
             polarity_mode="weighted",
@@ -104,7 +116,7 @@ class Sampler:
             if not self.incremental:
                 # Fresh solvers die with the draw; bank their conflicts
                 # so both modes report comparable oracle work.
-                self._retired_conflicts += solver.conflicts
+                self._retired_conflicts += solver.stats()["conflicts"]
             if status == UNSAT:
                 break
             if status != SAT:
@@ -122,14 +134,16 @@ class Sampler:
         """
         conflicts = self._retired_conflicts
         if self._solver is not None:
-            conflicts += self._solver.conflicts
-        return {"calls": self.calls, "conflicts": conflicts}
+            conflicts += self._solver.stats()["conflicts"]
+        return {"calls": self.calls, "conflicts": conflicts,
+                "backend": self.backend}
 
 
 def sample_models(cnf, count, rng=None, weighted_vars=(), deadline=None,
-                  conflict_budget=None, incremental=True):
+                  conflict_budget=None, incremental=True,
+                  backend="python"):
     """One-shot convenience wrapper around :class:`Sampler`."""
     sampler = Sampler(cnf, rng=rng, weighted_vars=weighted_vars,
-                      incremental=incremental)
+                      incremental=incremental, backend=backend)
     return sampler.draw(count, deadline=deadline,
                         conflict_budget=conflict_budget)

@@ -5,7 +5,8 @@ definition extraction over small dependency sets, and heavily in tests to
 check semantic equivalence of formulas.
 """
 
-from repro.sat.solver import Solver, SAT, UNSAT
+from repro.sat.backend import make_backend
+from repro.sat.solver import SAT, UNSAT
 from repro.utils.errors import ResourceBudgetExceeded
 
 
@@ -15,15 +16,17 @@ def block_assignment(solver, model, variables):
 
 
 def enumerate_models(cnf, variables=None, limit=None, rng=None,
-                     conflict_budget=None, deadline=None):
+                     conflict_budget=None, deadline=None, backend="python"):
     """Yield models of ``cnf`` projected onto ``variables``.
 
     Each yielded model is a dict over *all* solver variables; successive
     models differ on the projection set.  ``limit`` bounds the number of
     models; ``conflict_budget``/``deadline`` bound effort per SAT call and
     raise :class:`ResourceBudgetExceeded` when a call comes back UNKNOWN.
+    ``backend`` names the :mod:`repro.sat.backend` oracle the blocking
+    loop runs on.
     """
-    solver = Solver(cnf, rng=rng)
+    solver = make_backend(backend, cnf, rng=rng)
     if variables is None:
         variables = sorted(cnf.variables())
     variables = list(variables)

@@ -570,6 +570,23 @@ class Solver:
                                      if id(c) not in removed]
 
     # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def stats(self):
+        """Search counters, in the shape the backend protocol promises.
+
+        Oracle consumers (sessions, sampler) read these through
+        ``stats()`` rather than the attributes so alternative backends
+        report real numbers instead of silently missing them.
+        """
+        return {
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+        }
+
+    # ------------------------------------------------------------------
     # main search
     # ------------------------------------------------------------------
     def solve(self, assumptions=(), conflict_budget=None, deadline=None):

@@ -75,6 +75,25 @@ class TestSynth:
         with pytest.raises(SystemExit):
             main(["synth", instance_file, "--engine", "magic"])
 
+    def test_sat_backend_flag(self, instance_file, capsys):
+        code = main(["synth", instance_file, "--timeout", "30",
+                     "--sat-backend", "python-emulated"])
+        assert code == 10
+        assert "VALID" in capsys.readouterr().err
+
+    def test_unavailable_backend_fails_cleanly(self, instance_file,
+                                               monkeypatch):
+        monkeypatch.setattr("repro.sat.backend.backend_available",
+                            lambda name: False)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["synth", instance_file,
+                  "--sat-backend", "python-emulated"])
+        assert "not installed" in str(excinfo.value)
+
+    def test_unknown_backend_rejected(self, instance_file):
+        with pytest.raises(SystemExit):
+            main(["synth", instance_file, "--sat-backend", "magic"])
+
 
 class TestInfo:
     def test_info_output(self, instance_file, capsys):

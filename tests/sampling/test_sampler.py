@@ -144,7 +144,27 @@ class TestStats:
 
     def test_stats_before_any_draw(self):
         sampler = Sampler(CNF([[1]]), incremental=False)
-        assert sampler.stats() == {"calls": 0, "conflicts": 0}
+        assert sampler.stats() == {"calls": 0, "conflicts": 0,
+                                   "backend": "python"}
+
+
+class TestBackendSelection:
+    def test_weighted_polarity_backend_accepted(self):
+        cnf = CNF([[1, 2], [-1, 3]])
+        native = Sampler(cnf, rng=11, weighted_vars=[2, 3])
+        emulated = Sampler(cnf, rng=11, weighted_vars=[2, 3],
+                           backend="python-emulated")
+        assert emulated.backend == "python-emulated"
+        # Same inner CDCL, same RNG stream: identical draws.
+        assert native.draw(15) == emulated.draw(15)
+
+    def test_backend_without_weighted_polarity_falls_back(self):
+        # Sampling depends on the weighted-polarity knobs; pysat does
+        # not advertise them, so the sampler keeps the reference solver
+        # (and says so) instead of degrading sample diversity.
+        sampler = Sampler(CNF([[1]]), backend="pysat")
+        assert sampler.backend == "python"
+        assert sampler.stats()["backend"] == "python"
 
 
 class TestPackedDraw:
