@@ -159,7 +159,9 @@ class Solver:
 
     def solve_batch(self, problems, timeout=None, jobs=1, seed=None,
                     certify=True, certificate_budget=200_000, store=None,
-                    resume=False, progress=None, cancel=None):
+                    resume=False, progress=None, cancel=None,
+                    max_retries=0, retry_backoff=0.25,
+                    memory_limit_mb=None):
         """Solve many problems through the portfolio pool.
 
         Delegates to :func:`solve_batch` with this solver alone, so the
@@ -172,7 +174,9 @@ class Solver:
                            certify=certify,
                            certificate_budget=certificate_budget,
                            store=store, resume=resume, progress=progress,
-                           cancel=cancel)
+                           cancel=cancel, max_retries=max_retries,
+                           retry_backoff=retry_backoff,
+                           memory_limit_mb=memory_limit_mb)
 
     def _portfolio_entry(self):
         """What to hand the campaign scheduler for this solver.
@@ -267,7 +271,9 @@ def solve(problem, engine="manthan3", seed=None, timeout=None,
 
 def solve_batch(problems, solvers, timeout=None, jobs=1, seed=None,
                 certify=True, certificate_budget=200_000, store=None,
-                resume=False, progress=None, cancel=None):
+                resume=False, progress=None, cancel=None,
+                max_retries=0, retry_backoff=0.25,
+                memory_limit_mb=None):
     """Run every solver on every problem through the portfolio pool.
 
     The scheduling, isolation, certification, persistence and resume
@@ -280,8 +286,11 @@ def solve_batch(problems, solvers, timeout=None, jobs=1, seed=None,
 
     ``progress`` is called with each finished
     :class:`~repro.portfolio.runner.RunRecord` (resumed records load
-    silently, matching ``run_campaign``).  Returns a
-    :class:`BatchResult`.
+    silently, matching ``run_campaign``).  ``max_retries``/
+    ``retry_backoff`` re-run killed or crashed pool jobs, and
+    ``memory_limit_mb`` caps each worker's address space — the
+    resilience knobs of ``run_campaign``, passed through verbatim.
+    Returns a :class:`BatchResult`.
     """
     from repro.portfolio.parallel import run_campaign
 
@@ -322,5 +331,7 @@ def solve_batch(problems, solvers, timeout=None, jobs=1, seed=None,
         timeout=timeout, certify=certify,
         certificate_budget=certificate_budget, jobs=jobs, seed=seed,
         store=store, resume=resume, progress=progress,
-        event_sink=event_sink, cancel=cancel, keep_results=True)
+        event_sink=event_sink, cancel=cancel, keep_results=True,
+        max_retries=max_retries, retry_backoff=retry_backoff,
+        memory_limit_mb=memory_limit_mb)
     return BatchResult(problems, solvers, table)

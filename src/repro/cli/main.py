@@ -20,6 +20,11 @@ def _make_solver(name, seed=None, sat_backend=None):
     if sat_backend:
         from repro.sat.backend import backend_available
 
+        if sat_backend.partition(":")[0] not in backend_names():
+            raise SystemExit(
+                "unknown SAT backend %r (choose from %s, optionally "
+                "with a ':variant' suffix)"
+                % (sat_backend, ", ".join(backend_names())))
         if not backend_available(sat_backend):
             raise SystemExit(
                 "SAT backend %r is not installed in this environment "
@@ -243,7 +248,10 @@ def cmd_run_suite(args):
     try:
         batch = solve_batch(suite, solvers, timeout=args.timeout,
                             jobs=args.jobs, seed=args.seed, store=store,
-                            resume=args.resume, progress=progress)
+                            resume=args.resume, progress=progress,
+                            max_retries=args.max_retries,
+                            retry_backoff=args.retry_backoff,
+                            memory_limit_mb=args.memory_limit_mb)
     except ReproError as exc:  # e.g. resume parameter mismatch
         raise SystemExit(str(exc))
     # progress fires only for executed runs; every other pair of the
@@ -276,11 +284,13 @@ def build_parser():
                        choices=["infix", "aiger", "verilog"])
     synth.add_argument("--timeout", type=float, default=None)
     synth.add_argument("--seed", type=int, default=None)
-    synth.add_argument("--sat-backend", default=None,
-                       choices=backend_names(),
-                       help="SAT oracle backend for pipeline engines "
-                            "(default: the engine spec's own; 'pysat' "
-                            "needs the python-sat package)")
+    synth.add_argument("--sat-backend", default=None, metavar="NAME",
+                       help="SAT oracle backend for pipeline engines: "
+                            "one of %s, optionally with a ':variant' "
+                            "suffix (e.g. 'pysat:minisat22', "
+                            "'faulty:python'; 'pysat' needs the "
+                            "python-sat package)"
+                            % "/".join(backend_names()))
     synth.add_argument("--verbose", action="store_true",
                        help="render per-phase progress from the solve "
                             "event stream")
@@ -320,13 +330,24 @@ def build_parser():
                            help="comma-separated engine names")
     run_suite.add_argument("--timeout", type=float, default=10.0)
     run_suite.add_argument("--seed", type=int, default=0)
-    run_suite.add_argument("--sat-backend", default=None,
-                           choices=backend_names(),
+    run_suite.add_argument("--sat-backend", default=None, metavar="NAME",
                            help="SAT oracle backend applied to every "
                                 "pipeline engine in --engines "
-                                "(baselines keep their own oracles)")
+                                "(baselines keep their own oracles); "
+                                "':variant' suffixes work, e.g. "
+                                "'faulty:python' for the fault injector")
     run_suite.add_argument("--jobs", type=int, default=1,
                            help="worker processes (default 1)")
+    run_suite.add_argument("--max-retries", type=int, default=0,
+                           help="re-run a killed/crashed pool job up to "
+                                "N extra times (same derived seed; "
+                                "default 0)")
+    run_suite.add_argument("--retry-backoff", type=float, default=0.25,
+                           help="base seconds of the exponential retry "
+                                "delay (default 0.25)")
+    run_suite.add_argument("--memory-limit-mb", type=int, default=None,
+                           help="per-worker address-space ceiling; an "
+                                "OOM becomes a clean UNKNOWN record")
     run_suite.add_argument("--limit", type=int, default=None,
                            help="cap the suite at its first N instances")
     run_suite.add_argument("--out", default=None,

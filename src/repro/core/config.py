@@ -59,6 +59,16 @@ class Manthan3Config:
         (``incremental=False``) always uses the reference solver, and
         backends that lack weighted-polarity sampling keep the
         reference solver for the sampler only.
+    sat_backend_fallbacks:
+        Backend names tried, in order, when the live oracle backend
+        fails mid-run (:class:`~repro.sat.backend.BackendUnavailableError`
+        or ``MemoryError``): the failing session rebuilds on the next
+        chain entry, replays its live clause groups from the retained
+        encodings, and retries the interrupted call; each switch is
+        counted under ``stats["oracle"]["failovers"]``.  Defaults to
+        ``["python"]`` — the reference backend is always present, so a
+        crashed optional backend degrades instead of killing the run.
+        An empty chain restores the old fail-fast behavior.
     bitparallel:
         Run learning and repair-side candidate evaluation on the
         bit-parallel simulation substrate
@@ -112,6 +122,7 @@ class Manthan3Config:
                  self_substitution_max_dag=50_000,
                  sat_conflict_budget=None,
                  sat_backend="python",
+                 sat_backend_fallbacks=("python",),
                  bitparallel=True,
                  incremental=True,
                  phase_budgets=None,
@@ -134,6 +145,7 @@ class Manthan3Config:
         self.self_substitution_max_dag = self_substitution_max_dag
         self.sat_conflict_budget = sat_conflict_budget
         self.sat_backend = sat_backend
+        self.sat_backend_fallbacks = list(sat_backend_fallbacks)
         self.bitparallel = bitparallel
         self.incremental = incremental
         self.phase_budgets = dict(phase_budgets) if phase_budgets else None

@@ -128,7 +128,8 @@ def sample(ctx):
     ctx.sampler = Sampler(ctx.instance.matrix, rng=ctx.spawn(1),
                           weighted_vars=weighted,
                           incremental=config.incremental,
-                          backend=config.sat_backend)
+                          backend=config.sat_backend,
+                          fallbacks=config.sat_backend_fallbacks)
     ctx.samples = ctx.sampler.draw(config.num_samples,
                                    deadline=ctx.deadline,
                                    conflict_budget=ctx.conflict_budget,
@@ -313,9 +314,13 @@ class Pipeline:
         if ctx.sessions:
             oracle = {name: session.stats()
                       for name, session in ctx.sessions}
+            failovers = sum(session.failovers
+                            for _, session in ctx.sessions)
             if ctx.sampler is not None:
                 oracle["sampler"] = ctx.sampler.stats()
+                failovers += ctx.sampler.failovers
             oracle["backend"] = ctx.config.sat_backend
+            oracle["failovers"] = failovers
             stats["oracle"] = oracle
         result = SynthesisResult(finish.status, functions=finish.functions,
                                  stats=stats, reason=finish.reason,

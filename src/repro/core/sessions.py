@@ -33,15 +33,30 @@ sat_backend`` selects the oracle implementation (the reference
 groups, assumptions, cores, budgets, the ``stats()`` counters — is
 protocol surface, so an alternative backend drops in without changes
 here.
+
+Backend failure mid-run (:class:`~repro.sat.backend.
+BackendUnavailableError`, ``MemoryError``) is survivable: both
+sessions keep everything needed to rebuild — the instance/matrix, the
+committed units, the hash-consed candidate exprs — so on failure they
+walk ``Manthan3Config.sat_backend_fallbacks``, construct the next
+backend in the chain, replay their live clause groups, and retry the
+interrupted call.  The failed solver's RNG object is carried over, so
+a backend that dies before consuming randomness hands the unconsumed
+stream to its replacement.  Failovers are counted per session and
+surface under ``stats["oracle"]["failovers"]``.
 """
 
 from repro.formula.tseitin import SolverSink, TseitinEncoder, \
     negated_cnf_expr
-from repro.sat.backend import make_backend
+from repro.sat.backend import BackendUnavailableError, make_backend
 from repro.sat.solver import UNSAT
 from repro.utils.rng import spawn
 
 __all__ = ["VerifierSession", "MatrixSession", "build_sessions"]
+
+#: Backend failures a session recovers from by rebuilding on the
+#: fallback chain.  Everything else propagates unchanged.
+_ORACLE_FAILURES = (BackendUnavailableError, MemoryError)
 
 
 def build_sessions(ctx):
@@ -56,12 +71,15 @@ def build_sessions(ctx):
     if not ctx.config.incremental:
         return
     backend = ctx.config.sat_backend
+    fallbacks = ctx.config.sat_backend_fallbacks
     ctx.matrix_session = MatrixSession(ctx.instance.matrix,
                                        rng=spawn(ctx.oracle_rng, 1),
-                                       backend=backend)
+                                       backend=backend,
+                                       fallbacks=fallbacks)
     ctx.verifier_session = VerifierSession(ctx.instance,
                                            rng=spawn(ctx.oracle_rng, 2),
-                                           backend=backend)
+                                           backend=backend,
+                                           fallbacks=fallbacks)
     ctx.sessions = [("matrix", ctx.matrix_session),
                     ("verifier", ctx.verifier_session)]
 
@@ -78,20 +96,56 @@ class VerifierSession:
         the session's lifetime).
     backend:
         :mod:`repro.sat.backend` name of the oracle implementation.
+    fallbacks:
+        Backend names tried, in order, when the live backend fails
+        (see :meth:`_failover`); empty means fail fast.
     """
 
-    def __init__(self, instance, rng=None, backend="python"):
+    def __init__(self, instance, rng=None, backend="python",
+                 fallbacks=()):
         self.instance = instance
+        self._fallbacks = list(fallbacks)
+        self.failovers = 0
+        self._retired_conflicts = 0
+        self.calls = 0
+        self.groups_released = 0
+        self._install(backend, rng)
+
+    def _install(self, backend, rng):
+        """(Re)build the solver and its permanent ``¬ϕ`` encoding."""
         self.solver = make_backend(backend, rng=rng)
-        self.solver.ensure_vars(instance.matrix.num_vars)
+        self.solver.ensure_vars(self.instance.matrix.num_vars)
         self._sink = SolverSink(self.solver)
         self.encoder = TseitinEncoder(self._sink)
         # ¬ϕ never changes: encode it once, permanently.
-        self.encoder.assert_expr(negated_cnf_expr(instance.matrix))
+        self.encoder.assert_expr(negated_cnf_expr(self.instance.matrix))
         self._groups = {}      # y -> live solver clause group
         self._current = {}     # y -> candidate expr currently linked
-        self.calls = 0
-        self.groups_released = 0
+
+    def _failover(self, exc):
+        """Swap the dead solver for the next fallback-chain backend.
+
+        The replacement inherits the dead solver's RNG object (the
+        unconsumed stream continues) and banks its conflict counter so
+        :meth:`stats` stays monotone.  Candidate links are *not*
+        replayed here — ``_install`` clears ``_current``, so the next
+        :meth:`sync` re-encodes every candidate from the retained
+        exprs.  Re-raises ``exc`` once the chain is exhausted.
+        """
+        rng = getattr(self.solver, "rng", None)
+        try:
+            self._retired_conflicts += self.solver.stats()["conflicts"]
+        except Exception:
+            pass
+        while self._fallbacks:
+            name = self._fallbacks.pop(0)
+            try:
+                self._install(name, rng)
+            except BackendUnavailableError:
+                continue
+            self.failovers += 1
+            return
+        raise exc
 
     def sync(self, candidates):
         """Re-assert ``y ↔ f_y`` for every candidate that changed.
@@ -116,11 +170,21 @@ class VerifierSession:
             self._current[y] = expr
 
     def solve(self, candidates, deadline=None, conflict_budget=None):
-        """One verification oracle call against the current candidates."""
-        self.sync(candidates)
-        self.calls += 1
-        return self.solver.solve(deadline=deadline,
-                                 conflict_budget=conflict_budget)
+        """One verification oracle call against the current candidates.
+
+        Backend failure anywhere in the call — during the incremental
+        re-link or inside the solve itself — triggers a failover and a
+        full retry: the rebuilt solver re-links every candidate, then
+        the query runs again.
+        """
+        while True:
+            try:
+                self.sync(candidates)
+                self.calls += 1
+                return self.solver.solve(deadline=deadline,
+                                         conflict_budget=conflict_budget)
+            except _ORACLE_FAILURES as exc:
+                self._failover(exc)
 
     @property
     def model(self):
@@ -130,10 +194,11 @@ class VerifierSession:
         counters = self.solver.stats()
         return {
             "calls": self.calls,
-            "conflicts": counters["conflicts"],
+            "conflicts": counters["conflicts"] + self._retired_conflicts,
             "groups_released": self.groups_released,
             "encode_hits": self.encoder.hits,
             "encode_misses": self.encoder.misses,
+            "failovers": self.failovers,
         }
 
 
@@ -152,21 +217,71 @@ class MatrixSession:
     retired candidate the rest of the loop carries for that variable.
     """
 
-    def __init__(self, matrix, rng=None, backend="python"):
+    def __init__(self, matrix, rng=None, backend="python", fallbacks=()):
         self.matrix = matrix
-        self.solver = make_backend(backend, matrix, rng=rng)
+        self._fallbacks = list(fallbacks)
+        self.failovers = 0
+        self._retired_conflicts = 0
+        self._units = []       # committed units, replayed on failover
         self.calls = {}
+        self._install(backend, rng)
+
+    def _install(self, backend, rng):
+        """(Re)build the solver: ``ϕ`` plus every committed unit.
+
+        The dual rail is *not* replayed — it is reset and lazily
+        rebuilt by the next :meth:`unate_check`, exactly as on first
+        use (and not at all if preprocessing is already past it).
+        """
+        self.solver = make_backend(backend, self.matrix, rng=rng)
+        for literal in self._units:
+            self.solver.add_clause((literal,))
         self._dual_group = None
         self._prime = None     # var -> primed copy var
         self._eq = None        # var -> equality selector var
         self._neg_out = None   # literal ⇔ ¬ϕ(primed vars)
 
-    def solve(self, assumptions, purpose="matrix", deadline=None,
-              conflict_budget=None):
-        """Assumption query against ``ϕ``; ``purpose`` tags the stats."""
+    def _failover(self, exc):
+        """Swap the dead solver for the next fallback-chain backend,
+        carrying over its RNG object and banking its conflicts; see
+        :meth:`VerifierSession._failover`."""
+        rng = getattr(self.solver, "rng", None)
+        try:
+            self._retired_conflicts += self.solver.stats()["conflicts"]
+        except Exception:
+            pass
+        while self._fallbacks:
+            name = self._fallbacks.pop(0)
+            try:
+                self._install(name, rng)
+            except BackendUnavailableError:
+                continue
+            self.failovers += 1
+            return
+        raise exc
+
+    def _query(self, assumptions, purpose, deadline, conflict_budget):
+        """One raw assumption query — no retry (callers own that)."""
         self.calls[purpose] = self.calls.get(purpose, 0) + 1
         return self.solver.solve(assumptions=assumptions, deadline=deadline,
                                  conflict_budget=conflict_budget)
+
+    def solve(self, assumptions, purpose="matrix", deadline=None,
+              conflict_budget=None):
+        """Assumption query against ``ϕ``; ``purpose`` tags the stats.
+
+        Retries through the fallback chain on backend failure — safe
+        because extension/``Gk`` assumptions reference only matrix
+        variables, which every rebuilt solver shares.  (Unate queries
+        go through :meth:`unate_check`, whose retry also rebuilds the
+        dual-rail assumptions.)
+        """
+        while True:
+            try:
+                return self._query(assumptions, purpose, deadline,
+                                   conflict_budget)
+            except _ORACLE_FAILURES as exc:
+                self._failover(exc)
 
     @property
     def model(self):
@@ -177,8 +292,17 @@ class MatrixSession:
         return self.solver.core
 
     def add_unit(self, literal):
-        """Permanently commit a unit (unate constants)."""
-        self.solver.add_clause((literal,))
+        """Permanently commit a unit (unate constants).
+
+        The unit is recorded before it reaches the solver, so a
+        failover mid-add still replays it — ``_install`` asserts the
+        full committed list on the replacement backend.
+        """
+        self._units.append(literal)
+        try:
+            self.solver.add_clause((literal,))
+        except _ORACLE_FAILURES as exc:
+            self._failover(exc)
 
     # ------------------------------------------------------------------
     # dual rail (unate checks)
@@ -219,27 +343,45 @@ class MatrixSession:
         check matches the fresh path's working-matrix semantics.
         Returns ``True`` only on a definitive UNSAT (an exhausted
         budget is *not* unate, as in the fresh path).
+
+        The retry loop is unate-specific: the query's assumptions name
+        dual-rail variables that a failover invalidates, so each retry
+        re-runs ``_ensure_dual`` (a fresh build on the rebuilt solver)
+        and derives the assumptions anew.
         """
-        self._ensure_dual()
-        assumptions = [self._neg_out]
-        assumptions += [self._eq[v] for v in range(1, self.matrix.num_vars + 1)
-                        if v != y]
-        if positive:
-            assumptions += [-y, self._prime[y]]
-        else:
-            assumptions += [y, -self._prime[y]]
-        status = self.solve(assumptions, purpose="unate", deadline=deadline,
-                            conflict_budget=conflict_budget)
-        return status == UNSAT
+        while True:
+            try:
+                self._ensure_dual()
+                assumptions = [self._neg_out]
+                assumptions += [self._eq[v]
+                                for v in range(1, self.matrix.num_vars + 1)
+                                if v != y]
+                if positive:
+                    assumptions += [-y, self._prime[y]]
+                else:
+                    assumptions += [y, -self._prime[y]]
+                status = self._query(assumptions, "unate", deadline,
+                                     conflict_budget)
+            except _ORACLE_FAILURES as exc:
+                self._failover(exc)
+                continue
+            return status == UNSAT
 
     def retire_dual(self):
         """Release the unate apparatus once preprocessing is over, so
         the loop's extension/``Gk`` queries never carry its clauses."""
-        if self._dual_group is not None:
+        if self._dual_group is None:
+            return
+        try:
             self.solver.release_group(self._dual_group)
+        except _ORACLE_FAILURES as exc:
+            self._failover(exc)  # the rebuilt solver carries no dual rail
+        else:
             self._dual_group = None
 
     def stats(self):
         out = {"calls_%s" % k: v for k, v in sorted(self.calls.items())}
-        out["conflicts"] = self.solver.stats()["conflicts"]
+        out["conflicts"] = (self.solver.stats()["conflicts"]
+                            + self._retired_conflicts)
+        out["failovers"] = self.failovers
         return out

@@ -178,9 +178,15 @@ class _Job:
     ``engine`` is either a live engine object (reused/pickled as-is) or
     ``None``, in which case the executing side builds the engine from
     ``engine_name`` and the derived ``seed``.
+
+    ``attempts`` counts executions so far (retries re-run the job with
+    the *same* derived seed, so an eventually-successful retry produces
+    the record the fault-free campaign would have); ``lost_time`` sums
+    the parent-observed wall time of the failed attempts.
     """
 
-    __slots__ = ("index", "engine_name", "engine", "instance", "seed")
+    __slots__ = ("index", "engine_name", "engine", "instance", "seed",
+                 "attempts", "lost_time")
 
     def __init__(self, index, engine_name, engine, instance, seed):
         self.index = index
@@ -188,6 +194,8 @@ class _Job:
         self.engine = engine
         self.instance = instance
         self.seed = seed
+        self.attempts = 1
+        self.lost_time = 0.0
 
 
 def _execute_job(job, timeout, certify, certificate_budget,
@@ -234,9 +242,31 @@ _ENGINE_DONE = "engine-done"
 _EVENT_TAG = "repro-event"
 
 
+def _apply_memory_limit(memory_limit_mb):
+    """Best-effort per-worker address-space ceiling (RLIMIT_AS).
+
+    Turns a runaway allocation into an in-process ``MemoryError`` —
+    which the worker converts to a clean UNKNOWN record — instead of an
+    OS-level OOM kill that would surface as an opaque crash.  Silently
+    a no-op where the platform refuses the limit.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return
+    limit = int(memory_limit_mb) << 20
+    try:
+        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+    except (OSError, ValueError):
+        pass
+
+
 def _worker_main(job, timeout, certify, certificate_budget, conn,
-                 relay_events=False, keep_result=False):
+                 relay_events=False, keep_result=False,
+                 memory_limit_mb=None):
     """Pool worker: run one job, send its record up the private pipe."""
+    if memory_limit_mb is not None:
+        _apply_memory_limit(memory_limit_mb)
     try:
         listener = None
         if relay_events:
@@ -245,6 +275,15 @@ def _worker_main(job, timeout, certify, certificate_budget, conn,
         record = _execute_job(job, timeout, certify, certificate_budget,
                               listener=listener, keep_result=keep_result,
                               engine_done=lambda: conn.send(_ENGINE_DONE))
+    except MemoryError:
+        # A clean, final verdict — deliberately not retryable: the same
+        # job under the same ceiling would just OOM again.
+        record = RunRecord(
+            job.engine_name, job.instance.name, Status.UNKNOWN, 0.0,
+            reason="worker out of memory"
+                   + (" (address-space ceiling %d MB)" % memory_limit_mb
+                      if memory_limit_mb is not None else ""),
+            stats={"oom": True})
     except Exception as exc:  # engine bug: report, don't sink the pool
         record = RunRecord(job.engine_name, job.instance.name,
                            Status.UNKNOWN, 0.0,
@@ -286,25 +325,67 @@ def _cancelled_record(job, started=False):
         stats={"cancelled": True})
 
 
-def _killed_record(job, timeout, kill_grace):
+def _killed_record(job, timeout, kill_grace, elapsed):
+    """TIMEOUT record for a hung worker the parent had to kill.
+
+    ``time`` stays at the budget (the PAR-scoring convention for
+    timeouts); ``stats["wall_time"]`` records the *actual* parent-side
+    elapsed wall time, and ``kill_reason`` distinguishes the hard kill
+    from a cooperative timeout so ``--report`` can break the two out.
+    """
     return RunRecord(
         job.engine_name, job.instance.name, Status.TIMEOUT,
         timeout or 0.0,
         reason="hung worker killed %.1fs past the %.1fs budget"
                % (kill_grace, timeout or 0.0),
-        stats={"wall_time": timeout or 0.0, "killed": True})
+        stats={"wall_time": round(elapsed, 6), "killed": True,
+               "kill_reason": "hung"})
 
 
-def _crashed_record(job, exitcode):
+def _crashed_record(job, exitcode, elapsed=0.0, certifying=False):
+    """UNKNOWN record for a worker that died before reporting.
+
+    ``stats["wall_time"]`` is the parent-observed elapsed time and
+    ``crash_phase`` says whether the worker died running the engine or
+    afterwards, certifying its claim.
+    """
+    phase = "certification" if certifying else "engine"
     return RunRecord(
         job.engine_name, job.instance.name, Status.UNKNOWN, 0.0,
-        reason="worker exited with code %r before reporting" % (exitcode,),
-        stats={"crashed": True})
+        reason="worker exited with code %r during %s before reporting"
+               % (exitcode, phase),
+        stats={"crashed": True, "wall_time": round(elapsed, 6),
+               "crash_phase": phase})
+
+
+class _Slot:
+    """Parent-side bookkeeping for one live worker."""
+
+    __slots__ = ("process", "conn", "job", "launched", "kill_started",
+                 "dead_since", "certifying")
+
+    def __init__(self, process, conn, job, now):
+        self.process = process
+        self.conn = conn
+        self.job = job
+        self.launched = now       # elapsed-time anchor, never cleared
+        self.kill_started = now   # hard-deadline clock; None = exempt
+        self.dead_since = None
+        self.certifying = False   # past the engine-done marker
+
+
+def _stamp(record, job):
+    """Write the job's attempt accounting onto its final record."""
+    record.attempts = job.attempts
+    if job.lost_time:
+        record.stats.setdefault("retry_lost_time",
+                                round(job.lost_time, 6))
 
 
 def _run_pool(jobs, timeout, certify, certificate_budget, num_workers,
               kill_grace, emit, event_sink=None, cancel=None,
-              keep_result=False):
+              keep_result=False, max_retries=0, retry_backoff=0.25,
+              memory_limit_mb=None):
     """Fan jobs over ``num_workers`` forked processes.
 
     Each worker reports over its own pipe (no shared queue, so killing
@@ -313,31 +394,71 @@ def _run_pool(jobs, timeout, certify, certificate_budget, num_workers,
     enforces the hard per-run deadline.  ``cancel`` aborts at job
     granularity: pending jobs are skipped and running workers
     terminated, all recorded as ``CANCELLED``.
+
+    Killed (hung) and crashed outcomes are transient-fault candidates:
+    with ``max_retries > 0`` the job re-queues — after an exponential
+    ``retry_backoff * 2**(attempt-1)`` delay — and re-runs with the
+    same derived seed, so an eventually-successful retry yields the
+    exact record the fault-free campaign would have produced.  Only the
+    final outcome is emitted (and persisted), stamped with the total
+    ``attempts`` and the wall time burned by failed attempts.  Worker-
+    reported records — including the clean UNKNOWN an OOM under
+    ``memory_limit_mb`` produces — are final and never retried.
     """
     ctx = multiprocessing.get_context(
         "fork" if "fork" in multiprocessing.get_all_start_methods()
         else None)
     pending = deque(jobs)
-    running = {}  # index -> [process, conn, job, started_at, dead_since]
+    delayed = []  # (ready_at, job): retry backoff queue
+    running = {}  # job index -> _Slot
+
+    def reap(index):
+        slot = running.pop(index)
+        slot.conn.close()
+        slot.process.join()
+        return slot
 
     def finish(index, record):
-        process, conn, _job, _started, _dead = running.pop(index)
-        conn.close()
-        process.join()
+        _stamp(record, reap(index).job)
+        emit(index, record)
+
+    def settle(index, record):
+        """A killed/crashed attempt: re-queue it or make it final."""
+        job = reap(index).job
+        if job.attempts <= max_retries:
+            job.lost_time += record.stats.get("wall_time", 0.0)
+            job.attempts += 1
+            delay = retry_backoff * (2 ** (job.attempts - 2))
+            delayed.append((time.monotonic() + delay, job))
+            return
+        _stamp(record, job)
         emit(index, record)
 
     try:
-        while pending or running:
+        while pending or delayed or running:
             if cancel is not None and cancel.cancelled:
-                while pending:
-                    job = pending.popleft()
-                    emit(job.index, _cancelled_record(job))
-                for index, entry in list(running.items()):
-                    process, _conn, job = entry[0], entry[1], entry[2]
-                    if process.is_alive():
-                        process.terminate()
-                    finish(index, _cancelled_record(job, started=True))
+                for job in list(pending) + [item[1] for item in delayed]:
+                    record = _cancelled_record(job)
+                    _stamp(record, job)
+                    emit(job.index, record)
+                pending.clear()
+                delayed.clear()
+                for index, slot in list(running.items()):
+                    if slot.process.is_alive():
+                        slot.process.terminate()
+                    finish(index, _cancelled_record(slot.job,
+                                                    started=True))
                 break
+
+            now = time.monotonic()
+            if delayed:
+                ready = [item for item in delayed if item[0] <= now]
+                if ready:
+                    delayed[:] = [item for item in delayed
+                                  if item[0] > now]
+                    for _at, job in sorted(
+                            ready, key=lambda item: item[1].index):
+                        pending.append(job)
             while pending and len(running) < num_workers:
                 job = pending.popleft()
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
@@ -345,24 +466,33 @@ def _run_pool(jobs, timeout, certify, certificate_budget, num_workers,
                     target=_worker_main,
                     args=(job, timeout, certify, certificate_budget,
                           child_conn, event_sink is not None,
-                          keep_result),
+                          keep_result, memory_limit_mb),
                     daemon=True)
                 process.start()
                 child_conn.close()  # parent keeps only the read end
-                running[job.index] = [process, parent_conn, job,
-                                      time.monotonic(), None]
+                running[job.index] = _Slot(process, parent_conn, job,
+                                           time.monotonic())
 
             progressed = False
             now = time.monotonic()
-            for index, entry in list(running.items()):
-                process, conn, job, started, dead_since = entry
+            for index, slot in list(running.items()):
+                process, conn, job = slot.process, slot.conn, slot.job
                 if conn.poll():
                     try:
                         message = conn.recv()
                     except (EOFError, OSError):
-                        message = _crashed_record(job, process.exitcode)
+                        # Pipe died before a record arrived: the worker
+                        # crashed — mid-engine, or mid-certification
+                        # past the engine-done marker.
+                        settle(index, _crashed_record(
+                            job, process.exitcode,
+                            elapsed=now - slot.launched,
+                            certifying=slot.certifying))
+                        progressed = True
+                        continue
                     if message == _ENGINE_DONE:
-                        entry[3] = started = None  # certifying: kill off
+                        slot.kill_started = None  # certifying: kill off
+                        slot.certifying = True
                     elif isinstance(message, tuple) and len(message) == 2 \
                             and message[0] == _EVENT_TAG:
                         if event_sink is not None:
@@ -375,29 +505,36 @@ def _run_pool(jobs, timeout, certify, certificate_budget, num_workers,
                 # The hard deadline is evaluated even when the pipe had
                 # a (non-terminal) message: a runaway engine that keeps
                 # streaming events must not shield itself from the kill.
-                if timeout is not None and started is not None \
-                        and now - started > timeout + kill_grace:
+                if timeout is not None and slot.kill_started is not None \
+                        and now - slot.kill_started > timeout + kill_grace:
                     process.terminate()
                     process.join()
-                    finish(index, _killed_record(job, timeout, kill_grace))
+                    settle(index, _killed_record(job, timeout, kill_grace,
+                                                 now - slot.launched))
                     progressed = True
                 elif not process.is_alive():
                     # Dead with an empty pipe: give the OS buffer a
-                    # moment before declaring the run crashed.
-                    if dead_since is None:
-                        entry[4] = now
-                    elif now - dead_since > _DEATH_GRACE:
-                        finish(index, _crashed_record(job,
-                                                      process.exitcode))
+                    # moment before declaring the run crashed.  (A
+                    # worker that dies *certifying* — after the
+                    # engine-done marker exempted it from the kill
+                    # timer — is caught here too: certification must
+                    # never leave a slot waiting for pool teardown.)
+                    if slot.dead_since is None:
+                        slot.dead_since = now
+                    elif now - slot.dead_since > _DEATH_GRACE:
+                        settle(index, _crashed_record(
+                            job, process.exitcode,
+                            elapsed=now - slot.launched,
+                            certifying=slot.certifying))
                         progressed = True
             if not progressed:
                 time.sleep(_POLL_INTERVAL)
     finally:
-        for process, conn, _job, _started, _dead in running.values():
-            if process.is_alive():
-                process.terminate()
-            process.join()
-            conn.close()
+        for slot in running.values():
+            if slot.process.is_alive():
+                slot.process.terminate()
+            slot.process.join()
+            slot.conn.close()
 
 
 # ----------------------------------------------------------------------
@@ -407,7 +544,8 @@ def run_campaign(instances, engines, timeout=None, certify=True,
                  certificate_budget=200_000, jobs=1, seed=None,
                  store=None, resume=False, progress=None,
                  kill_grace=DEFAULT_KILL_GRACE, event_sink=None,
-                 cancel=None, keep_results=False):
+                 cancel=None, keep_results=False, max_retries=0,
+                 retry_backoff=0.25, memory_limit_mb=None):
     """Run the full (engine × instance) campaign; return a ResultTable.
 
     ``engines`` entries may be engine *names* (strings) — built fresh
@@ -430,6 +568,12 @@ def run_campaign(instances, engines, timeout=None, certify=True,
     :class:`~repro.api.CancellationToken`) aborts the campaign at job
     granularity; ``keep_results=True`` attaches each engine's full
     ``SynthesisResult`` to its record (the ``repro.api`` batch path).
+
+    ``max_retries`` (pool mode only) re-runs a job whose worker was
+    killed hung or crashed, up to that many extra attempts, after an
+    exponential ``retry_backoff``-seconds delay; ``memory_limit_mb``
+    caps each worker's address space so an OOM becomes a clean UNKNOWN
+    record instead of a crash (see :func:`_run_pool`).
 
     The returned table lists records in deterministic
     instance-major/engine-minor order regardless of completion order.
@@ -499,7 +643,10 @@ def run_campaign(instances, engines, timeout=None, certify=True,
                 _run_pool(jobs_list, timeout, certify,
                           certificate_budget, jobs, kill_grace, emit,
                           event_sink=event_sink, cancel=cancel,
-                          keep_result=keep_results)
+                          keep_result=keep_results,
+                          max_retries=max_retries,
+                          retry_backoff=retry_backoff,
+                          memory_limit_mb=memory_limit_mb)
             else:
                 _run_serial(jobs_list, timeout, certify,
                             certificate_budget, emit,

@@ -39,6 +39,33 @@ def phase_breakdown(table):
     return out
 
 
+def resilience_summary(table):
+    """Aggregate fault/retry accounting over the table's records.
+
+    Reads the resilience bookkeeping the pool and the oracle layer
+    attach: per-record ``attempts`` (retried jobs carry > 1 plus
+    ``stats["retry_lost_time"]``), the ``killed``/``crashed``/``oom``
+    stat markers, and the ``stats["oracle"]["failovers"]`` counter of
+    mid-run backend swaps.  All-zero on an untroubled campaign — the
+    report omits the section entirely then.
+    """
+    out = {"retried_runs": 0, "extra_attempts": 0, "retry_lost_time": 0.0,
+           "killed": 0, "crashed": 0, "oom": 0, "failovers": 0}
+    for record in table.records:
+        attempts = getattr(record, "attempts", 1)
+        if attempts > 1:
+            out["retried_runs"] += 1
+            out["extra_attempts"] += attempts - 1
+        out["retry_lost_time"] += record.stats.get("retry_lost_time", 0.0)
+        for key in ("killed", "crashed", "oom"):
+            if record.stats.get(key):
+                out[key] += 1
+        oracle = record.stats.get("oracle")
+        if isinstance(oracle, dict):
+            out["failovers"] += oracle.get("failovers", 0)
+    return out
+
+
 def render_report(table, main_engine="manthan3", display_names=None,
                   slack=10.0):
     """Render the full evaluation report; returns a list of lines."""
@@ -88,6 +115,20 @@ def render_report(table, main_engine="manthan3", display_names=None,
                 share = 100.0 * seconds / total if total > 0 else 0.0
                 lines.append("    %-14s %9.3f s  (%5.1f%%)"
                              % (phase, seconds, share))
+
+    resilience = resilience_summary(table)
+    if any(resilience.values()):
+        lines.append("")
+        lines.append("-- fault resilience --")
+        lines.append("  retried runs:      %d (%d extra attempts, "
+                     "%.3f s lost to failed attempts)"
+                     % (resilience["retried_runs"],
+                        resilience["extra_attempts"],
+                        resilience["retry_lost_time"]))
+        lines.append("  hung-worker kills: %d" % resilience["killed"])
+        lines.append("  worker crashes:    %d" % resilience["crashed"])
+        lines.append("  worker OOMs:       %d" % resilience["oom"])
+        lines.append("  oracle failovers:  %d" % resilience["failovers"])
 
     lines.append("")
     lines.append("-- pairwise comparisons (Figures 7-10) --")

@@ -36,13 +36,20 @@ class RunRecord:
     ``repro.api`` batch path uses so ``solve_batch`` solutions expose
     their function vectors.  It is *not* persisted by the campaign
     store (expressions do not serialize to the JSONL schema).
+
+    ``attempts`` counts executions of the job behind this record: 1
+    everywhere except pool campaigns running with ``max_retries > 0``,
+    where a killed/crashed job is re-executed and its final record
+    carries the total attempt count (wall time burned by the failed
+    attempts is under ``stats["retry_lost_time"]``).  Round-tripped by
+    the campaign store; absent in pre-existing files (defaults to 1).
     """
 
     __slots__ = ("engine", "instance", "status", "time", "reason",
-                 "certified", "stats", "result")
+                 "certified", "stats", "result", "attempts")
 
     def __init__(self, engine, instance, status, time, reason="",
-                 certified=None, stats=None, result=None):
+                 certified=None, stats=None, result=None, attempts=1):
         self.engine = engine
         self.instance = instance
         self.status = status
@@ -51,6 +58,7 @@ class RunRecord:
         self.certified = certified
         self.stats = stats or {}
         self.result = result
+        self.attempts = attempts
 
     @property
     def solved(self):
@@ -156,7 +164,8 @@ def evaluate_run(engine_name, instance, result, certify=True,
 
 def run_portfolio(instances, engines, timeout=None, certify=True,
                   certificate_budget=200_000, progress=None, jobs=1,
-                  seed=None, store=None, resume=False):
+                  seed=None, store=None, resume=False, max_retries=0,
+                  retry_backoff=0.25, memory_limit_mb=None):
     """Run every engine on every instance.
 
     Parameters
@@ -189,6 +198,13 @@ def run_portfolio(instances, engines, timeout=None, certify=True,
         that every record streams to as it completes.
     resume:
         Skip (engine, instance) pairs already present in ``store``.
+    max_retries / retry_backoff:
+        Pool-mode resilience: re-run a killed/crashed job up to
+        ``max_retries`` extra times with exponential backoff (see
+        :func:`repro.portfolio.parallel.run_campaign`).
+    memory_limit_mb:
+        Per-worker address-space ceiling; an OOM becomes a clean
+        UNKNOWN record instead of a crashed worker.
 
     Returns a :class:`ResultTable`.
     """
@@ -198,4 +214,7 @@ def run_portfolio(instances, engines, timeout=None, certify=True,
                         certify=certify,
                         certificate_budget=certificate_budget,
                         progress=progress, jobs=jobs, seed=seed,
-                        store=store, resume=resume)
+                        store=store, resume=resume,
+                        max_retries=max_retries,
+                        retry_backoff=retry_backoff,
+                        memory_limit_mb=memory_limit_mb)

@@ -39,6 +39,7 @@ def record_to_dict(record):
         "reason": record.reason,
         "certified": record.certified,
         "stats": record.stats,
+        "attempts": record.attempts,
     }
 
 
@@ -52,6 +53,7 @@ def record_from_dict(data):
         reason=data.get("reason", ""),
         certified=data.get("certified"),
         stats=data.get("stats") or {},
+        attempts=data.get("attempts", 1),
     )
 
 
@@ -157,10 +159,15 @@ class CampaignStore:
         return self
 
     def _repair_tail(self):
-        """Truncate a torn trailing line before appending.
+        """Mend the trailing line before appending.
 
         Readers tolerate a torn *last* line, but appending after one
-        would bury it mid-file, where it is (rightly) a hard error.
+        would bury it mid-file, where it is (rightly) a hard error —
+        so an undecodable tail is truncated.  A *decodable* tail that
+        merely lost its newline (the kill landed between the write and
+        the ``\\n`` hitting disk) keeps its record: only the newline is
+        restored, otherwise the next append would glue onto the line
+        and corrupt both records.
         """
         try:
             with open(self.path, "rb") as handle:
@@ -178,6 +185,10 @@ class CampaignStore:
         except ValueError:
             with open(self.path, "wb") as handle:
                 handle.write(b"".join(lines[:-1]))
+        else:
+            if not lines[-1].endswith(b"\n"):
+                with open(self.path, "ab") as handle:
+                    handle.write(b"\n")
 
     def append(self, record):
         """Append one record and flush, so a kill loses at most one line."""

@@ -1,10 +1,20 @@
 """Randomized CDCL sampling with adaptive polarity weighting."""
 
+import warnings
+
 from repro.formula.bitvec import SampleMatrix
-from repro.sat.backend import backend_capabilities, make_backend
+from repro.sat.backend import BackendUnavailableError, \
+    backend_capabilities, make_backend
 from repro.sat.solver import SAT, UNSAT
 from repro.utils.errors import ResourceBudgetExceeded
 from repro.utils.rng import make_rng, spawn
+
+#: Backend failures the sampler recovers from via its fallback chain.
+_ORACLE_FAILURES = (BackendUnavailableError, MemoryError)
+
+#: Backend names already warned about (capability fallback is loud, but
+#: only once per requested backend, not once per Sampler).
+_FALLBACK_WARNED = set()
 
 
 class Sampler:
@@ -36,13 +46,23 @@ class Sampler:
         :mod:`repro.sat.backend` name of the sampling oracle.  Sampling
         needs the weighted-polarity heuristics, so a backend that does
         not advertise the ``"weighted_polarity"`` capability (e.g.
-        ``pysat``) silently keeps the reference ``python`` solver; the
-        backend actually used is reported by :meth:`stats`.
+        ``pysat``) keeps the reference ``python`` solver — loudly: a
+        one-time :class:`RuntimeWarning` is emitted and the requested
+        name is reported under ``stats()["backend_fallback"]``.
+    fallbacks:
+        Backend names tried, in order, when the live sampling backend
+        fails mid-draw (:class:`~repro.sat.backend.
+        BackendUnavailableError` or ``MemoryError``): the sampler
+        rebuilds on the next capable chain entry — carrying over the
+        dead solver's RNG object and the adapted polarity weights —
+        and retries the draw.  Entries lacking ``"weighted_polarity"``
+        are skipped (sampling cannot run on them).  Empty means fail
+        fast.
     """
 
     def __init__(self, cnf, rng=None, weighted_vars=(), pilot=10,
                  bias_floor=0.1, bias_ceiling=0.9, incremental=True,
-                 backend="python"):
+                 backend="python", fallbacks=()):
         self.cnf = cnf
         self.rng = make_rng(rng)
         self.weighted_vars = list(weighted_vars)
@@ -50,9 +70,21 @@ class Sampler:
         self.bias_floor = bias_floor
         self.bias_ceiling = bias_ceiling
         self.incremental = incremental
-        self.backend = backend \
-            if "weighted_polarity" in backend_capabilities(backend) \
-            else "python"
+        if "weighted_polarity" in backend_capabilities(backend):
+            self.backend = backend
+            self.backend_fallback = None
+        else:
+            self.backend = "python"
+            self.backend_fallback = backend
+            if backend not in _FALLBACK_WARNED:
+                _FALLBACK_WARNED.add(backend)
+                warnings.warn(
+                    "SAT backend %r lacks the 'weighted_polarity' "
+                    "capability; sampling falls back to the reference "
+                    "'python' solver" % backend,
+                    RuntimeWarning, stacklevel=2)
+        self._fallbacks = list(fallbacks)
+        self.failovers = 0
         self._weights = {}
         self._true_counts = {v: 0 for v in self.weighted_vars}
         self._drawn = 0
@@ -60,11 +92,11 @@ class Sampler:
         self._retired_conflicts = 0
         self.calls = 0
 
-    def _build_solver(self, salt):
+    def _build_solver(self, rng):
         return make_backend(
             self.backend,
             self.cnf,
-            rng=spawn(self.rng, salt),
+            rng=rng,
             polarity_mode="weighted",
             random_var_freq=0.2,
             polarity_weights=dict(self._weights),
@@ -73,14 +105,45 @@ class Sampler:
     def _solver_for(self, salt):
         """The draw's solver: persistent (rerandomized) or fresh."""
         if not self.incremental:
-            return self._build_solver(salt)
+            return self._build_solver(spawn(self.rng, salt))
         if self._solver is None:
-            self._solver = self._build_solver(salt)
+            self._solver = self._build_solver(spawn(self.rng, salt))
         else:
             self._solver.rng = spawn(self.rng, salt)
             self._solver.polarity_weights.clear()
             self._solver.polarity_weights.update(self._weights)
         return self._solver
+
+    def _failover(self, exc):
+        """Swap the dead sampling solver for the next chain backend.
+
+        The replacement inherits the dead solver's RNG object and the
+        current adapted weights; its conflicts are banked so
+        :meth:`stats` stays monotone.  Chain entries without the
+        ``"weighted_polarity"`` capability are skipped.  Re-raises
+        ``exc`` once the chain is exhausted.
+        """
+        dead, self._solver = self._solver, None
+        rng = getattr(dead, "rng", None) if dead is not None else None
+        if dead is not None:
+            try:
+                self._retired_conflicts += dead.stats()["conflicts"]
+            except Exception:
+                pass
+        while self._fallbacks:
+            name = self._fallbacks.pop(0)
+            if "weighted_polarity" not in backend_capabilities(name):
+                continue
+            self.backend = name
+            if self.incremental:
+                try:
+                    self._solver = self._build_solver(
+                        rng if rng is not None else spawn(self.rng, 0))
+                except BackendUnavailableError:
+                    continue
+            self.failovers += 1
+            return
+        raise exc
 
     def _update_weights(self, model):
         self._drawn += 1
@@ -103,16 +166,36 @@ class Sampler:
         per-sample dicts are retained) — the solver stream, weight
         adaptation, and drawn models are identical either way.  Raises
         :class:`ResourceBudgetExceeded` if a SAT call exhausts its
-        budget.
+        budget.  Backend failure mid-draw triggers a failover through
+        the fallback chain and a retry of the interrupted draw.
         """
         samples = SampleMatrix() if packed else []
         for i in range(count):
             if deadline is not None:
                 deadline.check()
             solver = self._solver_for(i)
-            self.calls += 1
-            status = solver.solve(conflict_budget=conflict_budget,
-                                  deadline=deadline)
+            while True:
+                self.calls += 1
+                try:
+                    status = solver.solve(conflict_budget=conflict_budget,
+                                          deadline=deadline)
+                except _ORACLE_FAILURES as exc:
+                    rng = getattr(solver, "rng", None)
+                    if not self.incremental:
+                        self._solver = solver  # let _failover bank it
+                    self._failover(exc)
+                    # Retry on the replacement at the *same* RNG stream
+                    # position — the draw consumes no extra parent
+                    # entropy, so a recovered run replays the
+                    # fault-free sample stream exactly.
+                    if self.incremental:
+                        solver = self._solver
+                    elif rng is not None:
+                        solver = self._build_solver(rng)
+                    else:
+                        solver = self._solver_for(i)
+                    continue
+                break
             if not self.incremental:
                 # Fresh solvers die with the draw; bank their conflicts
                 # so both modes report comparable oracle work.
@@ -136,7 +219,9 @@ class Sampler:
         if self._solver is not None:
             conflicts += self._solver.stats()["conflicts"]
         return {"calls": self.calls, "conflicts": conflicts,
-                "backend": self.backend}
+                "backend": self.backend,
+                "backend_fallback": self.backend_fallback,
+                "failovers": self.failovers}
 
 
 def sample_models(cnf, count, rng=None, weighted_vars=(), deadline=None,

@@ -49,6 +49,13 @@ Three backends are registered:
   PySAT engine (e.g. ``pysat:minisat22``); plain ``pysat`` means
   ``pysat:glucose3``.
 
+A fourth registered name, ``faulty:<inner>``, wraps any of the above in
+the deterministic fault injector of :mod:`repro.sat.faults` (driven by
+a seeded :class:`~repro.sat.faults.FaultPlan`, spec'd via the
+``REPRO_FAULT_PLAN`` environment variable).  With no plan configured it
+is a pure passthrough, which the differential suite pins bit-identical
+to the wrapped backend.
+
 .. _python-sat: https://pysathq.github.io/
 
 Backends differ in *which* model or core they return and in how much
@@ -465,6 +472,10 @@ _REGISTRY = {
     PySATBackend.name: PySATBackend,
 }
 
+#: The fault-injection wrapper lives in :mod:`repro.sat.faults`, which
+#: imports this module — so it is resolved lazily, never at import time.
+_FAULTY = "faulty"
+
 
 def _split(name):
     """``"pysat:minisat22"`` -> ``("pysat", "minisat22")``."""
@@ -474,12 +485,16 @@ def _split(name):
 
 def backend_names():
     """Registered backend names, sorted (availability not checked)."""
-    return sorted(_REGISTRY)
+    return sorted(set(_REGISTRY) | {_FAULTY})
 
 
 def backend_available(name):
     """Whether ``name`` can actually be constructed here."""
-    base, _ = _split(name)
+    base, variant = _split(name)
+    if base == _FAULTY:
+        # faulty:<inner> is available exactly when its inner backend is
+        # (a bare "faulty" wraps the reference backend).
+        return backend_available(variant or PythonBackend.name)
     if base not in _REGISTRY:
         return False
     if base == PySATBackend.name:
@@ -497,7 +512,10 @@ def available_backends():
 
 def backend_capabilities(name):
     """Capability tags of a registered backend (by base name)."""
-    base, _ = _split(name)
+    base, variant = _split(name)
+    if base == _FAULTY:
+        # the wrapper is transparent: it has whatever its inner has.
+        return backend_capabilities(variant or PythonBackend.name)
     try:
         return _REGISTRY[base].capabilities
     except KeyError:
@@ -516,6 +534,11 @@ def make_backend(name, cnf=None, rng=None, **kwargs):
     missing and :class:`ReproError` for unknown names.
     """
     base, variant = _split(name)
+    if base == _FAULTY:
+        from repro.sat.faults import FaultInjectingBackend
+
+        return FaultInjectingBackend(
+            cnf, rng=rng, inner=variant or PythonBackend.name, **kwargs)
     try:
         cls = _REGISTRY[base]
     except KeyError:

@@ -44,7 +44,8 @@ FROZEN_SIGNATURES = {
     "Solver.solve_batch":
         "(self, problems, timeout=None, jobs=1, seed=None, "
         "certify=True, certificate_budget=200000, store=None, "
-        "resume=False, progress=None, cancel=None)",
+        "resume=False, progress=None, cancel=None, max_retries=0, "
+        "retry_backoff=0.25, memory_limit_mb=None)",
     "Solver.subscribe": "(self, listener)",
     "Solver.unsubscribe": "(self, listener)",
     "Solution.to_verilog": "(self, module_name='henkin_patch')",
@@ -59,7 +60,8 @@ FROZEN_SIGNATURES = {
     "solve_batch":
         "(problems, solvers, timeout=None, jobs=1, seed=None, "
         "certify=True, certificate_budget=200000, store=None, "
-        "resume=False, progress=None, cancel=None)",
+        "resume=False, progress=None, cancel=None, max_retries=0, "
+        "retry_backoff=0.25, memory_limit_mb=None)",
     "detect_format": "(text, path=None)",
 }
 

@@ -1,0 +1,15 @@
+"""Shared knobs for the chaos suite.
+
+``REPRO_CHAOS_ITERATIONS`` scales the seeded-randomised tests: 50 by
+default so local runs stay quick, cranked up by the dedicated CI chaos
+job to sweep a wider seed space.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture
+def chaos_iterations():
+    return int(os.environ.get("REPRO_CHAOS_ITERATIONS", "50"))

@@ -1,0 +1,223 @@
+"""Chaos layer, backend level: the fault plan and the injecting wrapper.
+
+Pins the three properties everything above this layer relies on:
+
+* the plan grammar rejects malformed specs loudly;
+* fault schedules are **deterministic and interleaving-independent** —
+  a pure function of ``(seed, method, call_index)``;
+* with no plan configured the wrapper is a bit-exact passthrough, and
+  it reaches backends built anywhere via ``REPRO_FAULT_PLAN``.
+"""
+
+import pytest
+
+from repro.formula.cnf import CNF
+from repro.sat.backend import (
+    BackendUnavailableError,
+    backend_capabilities,
+    backend_names,
+    make_backend,
+)
+from repro.sat.faults import (
+    FAULT_KINDS,
+    FAULT_METHODS,
+    PLAN_ENV,
+    FaultInjectingBackend,
+    FaultPlan,
+)
+from repro.sat.solver import SAT, UNKNOWN, UNSAT
+from repro.utils.errors import ReproError
+from repro.utils.timer import Deadline
+
+SMALL = [[1, 2], [-1, 2], [-2, 3]]
+
+
+class TestPlanGrammar:
+    def test_explicit_entries(self):
+        plan = FaultPlan.parse("solve@3=unavailable, add_clause@10=memory")
+        assert plan.fault_for("solve", 3) == "unavailable"
+        assert plan.fault_for("solve", 2) is None
+        assert plan.fault_for("add_clause", 10) == "memory"
+
+    def test_seeded_entries(self):
+        plan = FaultPlan.parse("seed=42;rate=0.25;"
+                               "methods=solve|add_clause;"
+                               "kinds=unavailable|memory;"
+                               "max_faults=3;stall=0.2")
+        assert plan.seed == 42
+        assert plan.rate == 0.25
+        assert plan.methods == ("solve", "add_clause")
+        assert plan.kinds == ("unavailable", "memory")
+        assert plan.max_faults == 3
+        assert plan.stall == 0.2
+
+    def test_empty_spec_is_no_faults(self):
+        plan = FaultPlan.parse("")
+        assert all(plan.fault_for(m, n) is None
+                   for m in FAULT_METHODS for n in range(1, 50))
+        assert plan.describe() == "(no faults)"
+
+    @pytest.mark.parametrize("spec", [
+        "solve@0=unavailable",          # indices are 1-based
+        "solve@x=unavailable",          # non-integer index
+        "solve@1",                      # no '=' value
+        "frobnicate@1=unavailable",     # unknown method
+        "solve@1=explode",              # unknown kind
+        "add_clause@1=unknown",         # 'unknown' is solve-only
+        "methods=solve|frobnicate",     # unknown seeded method
+        "kinds=explode",                # unknown seeded kind
+        "turbo=1",                      # unknown key
+    ])
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ReproError):
+            FaultPlan.parse(spec)
+
+
+class TestDeterminism:
+    def test_schedule_is_a_pure_function_of_the_spec(self, chaos_iterations):
+        """Same spec — parsed or constructed — same schedule, always."""
+        for seed in range(chaos_iterations):
+            direct = FaultPlan(seed=seed, rate=0.3,
+                               methods=("solve", "add_clause"),
+                               kinds=("unavailable", "memory"))
+            parsed = FaultPlan.parse(
+                "seed=%d,rate=0.3,methods=solve|add_clause,"
+                "kinds=unavailable|memory" % seed)
+            grid = [(m, n) for m in ("solve", "add_clause")
+                    for n in range(1, 40)]
+            assert [direct.fault_for(m, n) for m, n in grid] \
+                == [parsed.fault_for(m, n) for m, n in grid]
+
+    def test_every_seeded_kind_is_valid(self, chaos_iterations):
+        plan = FaultPlan(seed=7, rate=0.5, methods=FAULT_METHODS,
+                         kinds=FAULT_KINDS)
+        hit = set()
+        for n in range(1, 20 * chaos_iterations):
+            for method in FAULT_METHODS:
+                kind = plan.fault_for(method, n)
+                if kind is not None:
+                    assert kind in FAULT_KINDS
+                    # 'unknown' never leaks onto non-solve methods.
+                    if method != "solve":
+                        assert kind != "unknown"
+                    hit.add(kind)
+        assert hit == set(FAULT_KINDS)
+
+    def test_interleaving_independence(self):
+        """Two backends on the same plan inject identical per-method
+        fault sequences whatever order their consumers call them in."""
+        spec = "seed=11,rate=0.4,methods=solve|add_clause," \
+               "kinds=unavailable|memory"
+
+        def drive(schedule):
+            backend = FaultInjectingBackend(plan=spec)
+            backend.ensure_vars(3)
+            for method in schedule:
+                try:
+                    if method == "solve":
+                        backend.solve(assumptions=[1])
+                    else:
+                        backend.add_clause([1, 2, 3])
+                except (BackendUnavailableError, MemoryError):
+                    pass
+            return backend.faults
+
+        alternating = drive(["add_clause", "solve"] * 20)
+        batched = drive(["add_clause"] * 20 + ["solve"] * 20)
+        for method in ("solve", "add_clause"):
+            assert [f for f in alternating if f[0] == method] \
+                == [f for f in batched if f[0] == method]
+
+    def test_fault_log_matches_explicit_plan(self):
+        backend = FaultInjectingBackend(
+            plan="solve@2=unknown,add_clause@2=memory")
+        backend.ensure_vars(2)
+        backend.add_clause([1, 2])
+        with pytest.raises(MemoryError):
+            backend.add_clause([-1, 2])
+        assert backend.solve() == SAT
+        assert backend.solve() == UNKNOWN
+        assert backend.solve() == SAT
+        assert backend.faults == [("add_clause", 2, "memory"),
+                                  ("solve", 2, "unknown")]
+        assert backend.stats()["faults_injected"] == 2
+
+    def test_max_faults_caps_injection(self):
+        backend = FaultInjectingBackend(
+            plan="seed=3,rate=1.0,kinds=unknown,max_faults=2",
+            cnf=CNF(SMALL))
+        assert backend.solve() == UNKNOWN
+        assert backend.solve() == UNKNOWN
+        # Cap reached: every further call goes straight through.
+        for _ in range(5):
+            assert backend.solve() == SAT
+
+
+class TestFaultKinds:
+    def test_unavailable_raises(self):
+        backend = FaultInjectingBackend(plan="solve@1=unavailable",
+                                        cnf=CNF(SMALL))
+        with pytest.raises(BackendUnavailableError):
+            backend.solve()
+        assert backend.solve() == SAT  # next call recovers
+
+    def test_memory_raises(self):
+        backend = FaultInjectingBackend(plan="solve@1=memory",
+                                        cnf=CNF(SMALL))
+        with pytest.raises(MemoryError):
+            backend.solve()
+        assert backend.solve() == SAT
+
+    def test_unknown_short_circuits_without_inner_call(self):
+        backend = FaultInjectingBackend(plan="solve@1=unknown",
+                                        cnf=CNF(SMALL))
+        inner_calls_before = backend._inner.stats().get("calls", 0)
+        assert backend.solve() == UNKNOWN
+        assert backend._inner.stats().get("calls", 0) == inner_calls_before
+        assert backend.solve() == SAT
+
+    def test_stall_past_deadline_returns_unknown(self):
+        backend = FaultInjectingBackend(plan="solve@1=stall,stall=0.5",
+                                        cnf=CNF(SMALL))
+        assert backend.solve(deadline=Deadline(0.05)) == UNKNOWN
+
+    def test_stall_with_slack_proceeds(self):
+        backend = FaultInjectingBackend(plan="solve@1=stall,stall=0.01",
+                                        cnf=CNF(SMALL))
+        assert backend.solve(deadline=Deadline(10)) == SAT
+
+
+class TestPassthroughAndRegistry:
+    def test_no_plan_is_bit_exact_passthrough(self, monkeypatch):
+        monkeypatch.delenv(PLAN_ENV, raising=False)
+        queries = [(), (1,), (-3,), (1, -2), (2, 3)]
+        reference = make_backend("python", CNF(SMALL), rng=5)
+        wrapped = make_backend("faulty:python", CNF(SMALL), rng=5)
+        for assumptions in queries:
+            status = reference.solve(assumptions=list(assumptions))
+            assert wrapped.solve(assumptions=list(assumptions)) == status
+            if status == SAT:
+                assert wrapped.model == reference.model
+            elif status == UNSAT:
+                assert wrapped.core == reference.core
+        ref_stats = reference.stats()
+        got_stats = wrapped.stats()
+        assert got_stats.pop("faults_injected") == 0
+        assert got_stats == ref_stats
+
+    def test_env_plan_reaches_registry_built_backends(self, monkeypatch):
+        monkeypatch.setenv(PLAN_ENV, "solve@1=unknown")
+        backend = make_backend("faulty:python", CNF(SMALL))
+        assert backend.solve() == UNKNOWN
+        assert backend.solve() == SAT
+
+    def test_registry_lists_and_describes_faulty(self):
+        assert "faulty" in backend_names()
+        assert backend_capabilities("faulty:python") \
+            == backend_capabilities("python")
+
+    def test_inner_variant_names_compose(self, monkeypatch):
+        monkeypatch.delenv(PLAN_ENV, raising=False)
+        backend = make_backend("faulty:python", CNF(SMALL))
+        assert backend.inner_name == "python"
+        assert backend.name == "faulty"

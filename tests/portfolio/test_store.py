@@ -150,6 +150,40 @@ class TestCampaignStore:
         assert table.record_for("e", "i").status == Status.SYNTHESIZED
 
 
+class TestTruncationRecovery:
+    """Chaos property: a crash can truncate the file at *any* byte of
+    the final record; open, read, and resume-append must all succeed
+    with every fully-written earlier record intact."""
+
+    def test_recovery_at_every_truncation_offset(self, tmp_path):
+        base = tmp_path / "full.jsonl"
+        store = CampaignStore(str(base))
+        store.open(meta={"timeout": 2.0, "seed": 1})
+        records = make_records()
+        for record in records[:3]:
+            store.append(record)
+        store.close()
+        data = base.read_bytes()
+        start = data.rstrip(b"\n").rfind(b"\n") + 1
+        earlier = [(r.engine, r.instance) for r in records[:2]]
+        for cut in range(start, len(data) + 1):
+            path = tmp_path / "cut.jsonl"
+            path.write_bytes(data[:cut])
+            cut_store = CampaignStore(str(path))
+            loaded = list(cut_store.iter_records())   # never raises
+            assert len(loaded) in (2, 3), cut
+            assert [(r.engine, r.instance) for r in loaded[:2]] \
+                == earlier, cut
+            cut_store.open(resume=True)
+            cut_store.append(records[3])
+            cut_store.close()
+            final = list(cut_store.iter_records())
+            assert len(final) == len(loaded) + 1, cut
+            assert (final[-1].engine, final[-1].instance) \
+                == (records[3].engine, records[3].instance), cut
+            assert cut_store.read_meta()["timeout"] == 2.0, cut
+
+
 # ----------------------------------------------------------------------
 # campaign-level resume behaviour (store + runner together)
 # ----------------------------------------------------------------------

@@ -145,7 +145,9 @@ class TestStats:
     def test_stats_before_any_draw(self):
         sampler = Sampler(CNF([[1]]), incremental=False)
         assert sampler.stats() == {"calls": 0, "conflicts": 0,
-                                   "backend": "python"}
+                                   "backend": "python",
+                                   "backend_fallback": None,
+                                   "failovers": 0}
 
 
 class TestBackendSelection:
@@ -161,10 +163,26 @@ class TestBackendSelection:
     def test_backend_without_weighted_polarity_falls_back(self):
         # Sampling depends on the weighted-polarity knobs; pysat does
         # not advertise them, so the sampler keeps the reference solver
-        # (and says so) instead of degrading sample diversity.
-        sampler = Sampler(CNF([[1]]), backend="pysat")
+        # — loudly: a one-time warning plus a stats() marker.
+        import warnings
+
+        from repro.sampling import sampler as sampler_module
+
+        sampler_module._FALLBACK_WARNED.discard("pysat")
+        with pytest.warns(RuntimeWarning, match="weighted_polarity"):
+            sampler = Sampler(CNF([[1]]), backend="pysat")
         assert sampler.backend == "python"
         assert sampler.stats()["backend"] == "python"
+        assert sampler.stats()["backend_fallback"] == "pysat"
+        # Only the first Sampler per requested backend warns.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = Sampler(CNF([[1]]), backend="pysat")
+        assert again.stats()["backend_fallback"] == "pysat"
+
+    def test_capable_backend_has_no_fallback_marker(self):
+        sampler = Sampler(CNF([[1]]))
+        assert sampler.stats()["backend_fallback"] is None
 
 
 class TestPackedDraw:
