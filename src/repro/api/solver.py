@@ -26,8 +26,8 @@ conveniences; multi-engine campaigns pass several solvers to
 from repro.api.problem import Problem
 from repro.api.solution import Solution
 from repro.core.result import Status, SynthesisResult
-from repro.portfolio.parallel import ENGINE_SPECS, PipelineEngineSpec, \
-    engine_names
+from repro.portfolio.parallel import PipelineEngineSpec, \
+    resolve_engine_spec
 from repro.utils.errors import ReproError
 
 __all__ = ["BatchResult", "Solver", "solve", "solve_batch"]
@@ -70,11 +70,7 @@ class Solver:
         self._custom = bool(phases or overrides or config is not None)
         self._spec_name = engine if isinstance(engine, str) else None
         if isinstance(engine, str):
-            if engine not in ENGINE_SPECS:
-                raise ReproError(
-                    "unknown engine %r (choose from %s)"
-                    % (engine, ", ".join(engine_names())))
-            spec = ENGINE_SPECS[engine]
+            spec = resolve_engine_spec(engine)  # incl. race:<a>+<b>
             if self._custom and not isinstance(spec, PipelineEngineSpec):
                 raise ReproError(
                     "engine %r is not a pipeline engine; phases/"
@@ -161,7 +157,8 @@ class Solver:
                     certify=True, certificate_budget=200_000, store=None,
                     resume=False, progress=None, cancel=None,
                     max_retries=0, retry_backoff=0.25,
-                    memory_limit_mb=None):
+                    memory_limit_mb=None, elastic=False, worker_id=None,
+                    lease_duration=30.0):
         """Solve many problems through the portfolio pool.
 
         Delegates to :func:`solve_batch` with this solver alone, so the
@@ -176,7 +173,9 @@ class Solver:
                            store=store, resume=resume, progress=progress,
                            cancel=cancel, max_retries=max_retries,
                            retry_backoff=retry_backoff,
-                           memory_limit_mb=memory_limit_mb)
+                           memory_limit_mb=memory_limit_mb,
+                           elastic=elastic, worker_id=worker_id,
+                           lease_duration=lease_duration)
 
     def _portfolio_entry(self):
         """What to hand the campaign scheduler for this solver.
@@ -273,7 +272,8 @@ def solve_batch(problems, solvers, timeout=None, jobs=1, seed=None,
                 certify=True, certificate_budget=200_000, store=None,
                 resume=False, progress=None, cancel=None,
                 max_retries=0, retry_backoff=0.25,
-                memory_limit_mb=None):
+                memory_limit_mb=None, elastic=False, worker_id=None,
+                lease_duration=30.0):
     """Run every solver on every problem through the portfolio pool.
 
     The scheduling, isolation, certification, persistence and resume
@@ -291,6 +291,19 @@ def solve_batch(problems, solvers, timeout=None, jobs=1, seed=None,
     ``memory_limit_mb`` caps each worker's address space — the
     resilience knobs of ``run_campaign``, passed through verbatim.
     Returns a :class:`BatchResult`.
+
+    ``elastic=True`` joins (or starts) a shared multi-worker campaign
+    instead of running a private pool: this process becomes one
+    :class:`~repro.portfolio.elastic.ElasticWorker` identified by
+    ``worker_id``, claiming jobs through the lease log next to
+    ``store`` (required) and cooperating with any other workers on the
+    same store — see :mod:`repro.portfolio.elastic`.  Elastic
+    campaigns need registry-pure solvers (plain engine names, no
+    seed/overrides/custom names): every worker must be able to rebuild
+    each engine from the shared log alone.  ``cancel`` maps to a
+    graceful drain, and the returned table is the merged campaign
+    (complete when this worker saw it finish; its records come from
+    disk, so their solutions carry no function vectors).
     """
     from repro.portfolio.parallel import run_campaign
 
@@ -324,6 +337,36 @@ def solve_batch(problems, solvers, timeout=None, jobs=1, seed=None,
                         listener(event)
                     except Exception:
                         pass  # observation must not sink the campaign
+
+    if elastic:
+        from repro.portfolio.elastic import run_elastic_worker
+        from repro.portfolio.store import CampaignStore
+
+        if store is None:
+            raise ReproError("elastic campaigns need a shared store "
+                             "(pass store=)")
+        entries = [s._portfolio_entry() for s in solvers]
+        impure = [s.name for s, entry in zip(solvers, entries)
+                  if not isinstance(entry, str)]
+        if impure:
+            raise ReproError(
+                "elastic campaigns need registry-pure solvers (plain "
+                "engine names, no seed/overrides/custom names) so "
+                "every worker can rebuild them; offending: %r" % impure)
+        store_path = store.path if isinstance(store, CampaignStore) \
+            else store
+        summary = run_elastic_worker(
+            [p.instance for p in problems], entries, store_path,
+            worker_id=worker_id, timeout=timeout, seed=seed,
+            certify=certify, certificate_budget=certificate_budget,
+            lease_duration=lease_duration, progress=progress,
+            event_sink=event_sink, cancel=cancel)
+        table = summary["table"]
+        if table is None:  # drained before completion: partial view
+            from repro.portfolio.elastic import merge_shards
+
+            table = merge_shards(store_path, write=False)
+        return BatchResult(problems, solvers, table)
 
     table = run_campaign(
         [p.instance for p in problems],

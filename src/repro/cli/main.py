@@ -38,14 +38,16 @@ def _make_solver(name, seed=None, sat_backend=None):
 
 
 def _parse_engine_names(spec):
+    from repro.portfolio.parallel import resolve_engine_spec
+
     names = [name.strip() for name in spec.split(",") if name.strip()]
     if not names:
         raise SystemExit("no engines selected")
-    known = set(engine_names())
     for name in names:
-        if name not in known:
-            raise SystemExit("unknown engine %r (choose from %s)"
-                             % (name, ", ".join(sorted(known))))
+        try:
+            resolve_engine_spec(name)  # registry names + race: groups
+        except ReproError as exc:
+            raise SystemExit(str(exc))
     return names
 
 
@@ -222,6 +224,42 @@ def cmd_bench(args):
     return 0
 
 
+def _run_elastic_worker(args, names, suite):
+    """``run-suite --elastic``: join a shared multi-worker campaign as
+    one lease-claiming worker (see :mod:`repro.portfolio.elastic`)."""
+    import signal
+
+    from repro.portfolio.elastic import ElasticWorker
+
+    worker = ElasticWorker(
+        suite, names, args.out, worker_id=args.worker_id,
+        timeout=args.timeout, seed=args.seed, certify=True,
+        lease_duration=args.lease_duration, drain_mode=args.drain,
+        progress=_print_progress if args.verbose else None)
+    signal.signal(signal.SIGTERM,
+                  lambda *_sig: worker.request_drain())
+    try:
+        summary = worker.run()
+    except ReproError as exc:  # e.g. campaign parameter mismatch
+        raise SystemExit(str(exc))
+    print("elastic worker %s: %d executed, %d recovered, %d reclaimed, "
+          "%d released%s"
+          % (summary["worker_id"], summary["executed"],
+             summary["recovered"], summary["reclaimed"],
+             summary["released"],
+             " (drained)" if summary["drained"] else ""),
+          file=sys.stderr)
+    if summary["complete"] and summary["table"] is not None:
+        print("campaign complete: merged %d records into %s"
+              % (len(summary["table"].records), args.out),
+              file=sys.stderr)
+        _emit_report(summary["table"], args.report)
+    else:
+        print("campaign still in progress: other workers hold leases "
+              "(store %s)" % args.out, file=sys.stderr)
+    return 0
+
+
 def cmd_run_suite(args):
     """Batch campaign: generated suite × engine selection, parallel
     and resumable."""
@@ -229,13 +267,26 @@ def cmd_run_suite(args):
     from repro.portfolio import CampaignStore
 
     names = _parse_engine_names(args.engines)
+    suite = build_suite(args.suite, seed=args.seed)
+    if args.limit is not None:
+        suite = suite[:args.limit]
+
+    if args.elastic:
+        if not args.out:
+            raise SystemExit(
+                "--elastic needs --out: the shared campaign store all "
+                "workers coordinate through")
+        if args.sat_backend:
+            raise SystemExit(
+                "--elastic workers run registry engines as published "
+                "(other workers must build identical engines); "
+                "--sat-backend is not supported")
+        return _run_elastic_worker(args, names, suite)
+
     solvers = [_make_solver(name,
                             sat_backend=args.sat_backend
                             if _is_pipeline_engine(name) else None)
                for name in names]
-    suite = build_suite(args.suite, seed=args.seed)
-    if args.limit is not None:
-        suite = suite[:args.limit]
 
     store = CampaignStore(args.out) if args.out else None
     executed = [0]
@@ -276,8 +327,10 @@ def build_parser():
 
     synth = sub.add_parser("synth", help="synthesize Henkin functions")
     synth.add_argument("file")
-    synth.add_argument("--engine", default="manthan3",
-                       choices=engine_names())
+    synth.add_argument("--engine", default="manthan3", metavar="NAME",
+                       help="one of %s, or a 'race:a+b' group that runs "
+                            "several concurrently and keeps the first "
+                            "decisive answer" % "/".join(engine_names()))
     synth.add_argument("--format", default="auto",
                        choices=["auto", "dqdimacs", "qdimacs"])
     synth.add_argument("--output-format", default="infix",
@@ -327,7 +380,10 @@ def build_parser():
                            choices=["smoke", "small", "medium"])
     run_suite.add_argument("--engines",
                            default="manthan3,expansion,pedant",
-                           help="comma-separated engine names")
+                           help="comma-separated engine names; "
+                                "'race:a+b' groups race their members "
+                                "on each instance and keep the first "
+                                "decisive answer")
     run_suite.add_argument("--timeout", type=float, default=10.0)
     run_suite.add_argument("--seed", type=int, default=0)
     run_suite.add_argument("--sat-backend", default=None, metavar="NAME",
@@ -361,6 +417,30 @@ def build_parser():
                                 "per-phase time breakdown) here instead "
                                 "of stdout")
     run_suite.add_argument("--verbose", action="store_true")
+    run_suite.add_argument("--elastic", action="store_true",
+                           help="join --out as one lease-claiming worker "
+                                "of a multi-worker campaign: start the "
+                                "same command on several machines/shells "
+                                "sharing the store directory and they "
+                                "split the jobs; workers may join, "
+                                "leave, or crash at any time")
+    run_suite.add_argument("--worker-id", default=None, metavar="ID",
+                           help="stable elastic worker identity "
+                                "(default host-pid); reusing an ID "
+                                "after a crash recovers its finished "
+                                "but unpublished runs")
+    run_suite.add_argument("--lease-duration", type=float, default=30.0,
+                           help="seconds an elastic job lease stays "
+                                "valid between heartbeats; other "
+                                "workers reclaim the job this long "
+                                "after its holder stops renewing "
+                                "(default 30)")
+    run_suite.add_argument("--drain", default="release",
+                           choices=["release", "finish"],
+                           help="SIGTERM behaviour for elastic workers: "
+                                "'release' cancels the in-flight run "
+                                "and returns its lease, 'finish' "
+                                "completes it first (default release)")
     run_suite.set_defaults(func=cmd_run_suite)
     return parser
 

@@ -14,15 +14,25 @@ JSONL record stream that round-trips back into a
 :class:`~repro.portfolio.runner.ResultTable`).
 """
 
+from repro.portfolio.elastic import (
+    ElasticWorker,
+    merge_shards,
+    run_elastic_worker,
+)
+from repro.portfolio.leases import LeaseLog, lease_log_path
 from repro.portfolio.parallel import (
     ENGINE_SPECS,
+    RACE_PREFIX,
     BaselineEngineSpec,
     PipelineEngineSpec,
+    RaceEngineSpec,
     derive_job_seed,
     engine_names,
     make_engine,
+    resolve_engine_spec,
     run_campaign,
 )
+from repro.portfolio.racing import RacingEngine
 from repro.portfolio.runner import (
     ResultTable,
     RunRecord,
@@ -49,11 +59,20 @@ __all__ = [
     "evaluate_run",
     "CampaignStore",
     "ENGINE_SPECS",
+    "RACE_PREFIX",
     "BaselineEngineSpec",
     "PipelineEngineSpec",
+    "RaceEngineSpec",
+    "RacingEngine",
     "engine_names",
     "make_engine",
+    "resolve_engine_spec",
     "derive_job_seed",
+    "ElasticWorker",
+    "run_elastic_worker",
+    "merge_shards",
+    "LeaseLog",
+    "lease_log_path",
     "vbs_times",
     "cactus_series",
     "scatter_pairs",

@@ -1,0 +1,310 @@
+"""Append-only lease log: coordinator-free claiming of campaign jobs.
+
+Elastic campaigns (:mod:`repro.portfolio.elastic`) let any number of
+worker processes — potentially on different hosts sharing a directory —
+cooperatively execute one (engine × instance) campaign.  There is no
+coordinator: all coordination happens through a single shared JSONL
+*lease log* next to the campaign store, to which every worker appends
+small records:
+
+* ``{"type": "lease", "op": "claim", "job": [engine, instance],
+  "worker": id, "ts": t, "deadline": t + duration}`` — a bid for a job;
+* ``op: "renew"`` — a heartbeat extending the holder's deadline;
+* ``op: "release"`` — a voluntary hand-back (graceful drain);
+* ``op: "complete"`` — the job finished and its record is in the
+  worker's shard store.
+
+Appends are atomic (one ``O_APPEND`` ``write()`` per line), so the log
+is a totally ordered history every worker sees identically, and lease
+ownership is a **pure function of the log**: replaying the same log
+always resolves to the same owners (:meth:`LeaseLog.resolve`).  The
+rules, in file order per job:
+
+* a *claim* wins iff the job is unowned, or the current lease's
+  deadline predates the claim's own timestamp (expired → reclaimed), or
+  the claimer already holds it (self-reclaim acts as a renewal).
+  Simultaneous claims are settled by append order: **first writer
+  wins**, and both bidders reach that verdict by re-reading the log.
+* a *renew* or *release* only counts from the current holder.
+* the first *complete* is final (first-writer-wins, so a stale worker
+  whose lease was reclaimed mid-run can finish late without ever
+  overwriting the reclaimer's result); later completes are ignored.
+
+Expiry during resolution compares the stored deadline against the
+*claimer's* timestamp, never the reader's clock, so resolution is
+deterministic; only the decision "may *I* claim this now" uses the
+local clock.  Workers must therefore share roughly synchronised clocks
+(same host, or NTP across hosts) at lease-duration granularity.
+
+Readers skip undecodable lines instead of failing: a worker SIGKILLed
+mid-append can leave a torn line that later appends from live workers
+bury mid-file, and a dropped lease record is always safe — at worst the
+affected claim never happened and the job is reclaimed after expiry.
+Campaign *results* never travel through this log (they live in
+per-worker shard stores with the strict
+:class:`~repro.portfolio.store.CampaignStore` corruption rules).
+"""
+
+import json
+import os
+import time
+
+from repro.utils.errors import ReproError
+
+#: Seconds a claim stays valid without a renewal.
+DEFAULT_LEASE_DURATION = 30.0
+
+#: A holder renews every ``duration / HEARTBEAT_FRACTION`` seconds, so
+#: several heartbeats must be missed before the lease expires.
+HEARTBEAT_FRACTION = 3.0
+
+FORMAT_VERSION = 1
+
+
+def lease_log_path(store_path):
+    """The lease log that coordinates the campaign at ``store_path``."""
+    return store_path + ".leases"
+
+
+class JobState:
+    """Resolved lease state of one ``(engine, instance)`` job.
+
+    ``claims`` counts every successful ownership transfer, and
+    ``reclaims`` the subset that took over an *expired* lease (a
+    crashed or stalled previous holder).  ``done_by`` is the worker
+    whose *first* complete record won.
+    """
+
+    __slots__ = ("job", "owner", "deadline", "done", "done_by",
+                 "claims", "reclaims")
+
+    def __init__(self, job):
+        self.job = job
+        self.owner = None
+        self.deadline = 0.0
+        self.done = False
+        self.done_by = None
+        self.claims = 0
+        self.reclaims = 0
+
+    def held(self, now):
+        """Live lease: owned and not past its deadline."""
+        return (not self.done and self.owner is not None
+                and self.deadline >= now)
+
+    def free(self, now):
+        """Claimable: not done, and unowned or expired."""
+        return not self.done and (self.owner is None
+                                  or self.deadline < now)
+
+    def __repr__(self):
+        if self.done:
+            return "JobState(%r, done by %r)" % (self.job, self.done_by)
+        return "JobState(%r, owner=%r, deadline=%r)" % (
+            self.job, self.owner, self.deadline)
+
+
+class LeaseLog:
+    """One shared append-only lease log (see module docstring)."""
+
+    def __init__(self, path):
+        self.path = path
+
+    # ------------------------------------------------------------------
+    # low-level I/O
+    # ------------------------------------------------------------------
+    def exists(self):
+        try:
+            return os.path.getsize(self.path) > 0
+        except OSError:
+            return False
+
+    def _append(self, data):
+        """Append one record atomically.
+
+        ``O_APPEND`` plus a single ``os.write`` keeps concurrent
+        appends from different processes (or hosts, on a shared
+        filesystem with POSIX append semantics) from interleaving
+        bytes: the kernel moves the offset to the end and writes in one
+        step, so the log stays a clean sequence of whole lines.
+        """
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        line = (json.dumps(data, sort_keys=True) + "\n").encode("utf-8")
+        if self._tail_is_torn():
+            # A predecessor died mid-append and left no newline; start
+            # a fresh line so the torn record only loses itself, not
+            # this one too.  The check-then-write race is benign: a
+            # concurrent append in between at worst yields an extra
+            # blank line, which readers skip.
+            line = b"\n" + line
+        fd = os.open(self.path,
+                     os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+
+    def _tail_is_torn(self):
+        """Whether the log's last byte is missing its newline."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return False
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except OSError:
+            return False
+
+    def _iter_records(self):
+        """Yield parsed records, skipping undecodable lines (see
+        module docstring for why skipping is safe here)."""
+        try:
+            with open(self.path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return
+        for line in raw.decode("utf-8", "replace").splitlines():
+            if not line.strip():
+                continue
+            try:
+                yield json.loads(line)
+            except ValueError:
+                continue
+
+    # ------------------------------------------------------------------
+    # campaign meta
+    # ------------------------------------------------------------------
+    def read_meta(self):
+        """The first ``{"type": "campaign"}`` record, or ``None``."""
+        for data in self._iter_records():
+            if data.get("type") == "campaign":
+                return data
+        return None
+
+    def ensure_meta(self, meta):
+        """Publish the campaign parameters, or validate against the
+        published ones.
+
+        The first campaign record in the log wins (two workers racing
+        to initialise both append one; both then validate against the
+        earlier).  A mismatch on any shared knob raises — workers with
+        different timeouts or seeds would corrupt the campaign's
+        comparability, exactly like a mismatched store resume.
+        """
+        existing = self.read_meta()
+        if existing is None:
+            header = {"type": "campaign", "version": FORMAT_VERSION}
+            header.update(meta)
+            self._append(header)
+            existing = self.read_meta()
+        for key, wanted in meta.items():
+            if key in existing and existing[key] != wanted:
+                raise ReproError(
+                    "cannot join elastic campaign %s: published %s=%r "
+                    "differs from requested %r"
+                    % (self.path, key, existing[key], wanted))
+        return existing
+
+    # ------------------------------------------------------------------
+    # lease operations
+    # ------------------------------------------------------------------
+    def claim(self, job, worker, duration=DEFAULT_LEASE_DURATION,
+              now=None):
+        """Bid for ``job``; return ``True`` iff this worker now holds
+        it.
+
+        The bid is an appended record; the verdict comes from re-reading
+        the log (first writer wins), so every concurrent bidder reaches
+        the same answer.
+        """
+        now = time.time() if now is None else now
+        self._append({"type": "lease", "op": "claim",
+                      "job": list(job), "worker": worker,
+                      "ts": round(now, 6),
+                      "deadline": round(now + duration, 6)})
+        state = self.resolve().get(tuple(job))
+        return (state is not None and not state.done
+                and state.owner == worker)
+
+    def renew(self, job, worker, duration=DEFAULT_LEASE_DURATION,
+              now=None):
+        """Heartbeat: extend this worker's lease.  Append-only (cheap);
+        a renewal from a non-holder is simply ignored at resolution."""
+        now = time.time() if now is None else now
+        self._append({"type": "lease", "op": "renew",
+                      "job": list(job), "worker": worker,
+                      "ts": round(now, 6),
+                      "deadline": round(now + duration, 6)})
+
+    def release(self, job, worker, now=None):
+        """Hand the job back unfinished (graceful drain)."""
+        now = time.time() if now is None else now
+        self._append({"type": "lease", "op": "release",
+                      "job": list(job), "worker": worker,
+                      "ts": round(now, 6)})
+
+    def complete(self, job, worker, now=None):
+        """Mark the job done; the first complete in the log is final."""
+        now = time.time() if now is None else now
+        self._append({"type": "lease", "op": "complete",
+                      "job": list(job), "worker": worker,
+                      "ts": round(now, 6)})
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve(self):
+        """Fold the log into ``{(engine, instance): JobState}``.
+
+        A pure function of the log contents — no clock involved — so
+        every worker (and every replay) resolves identically.
+        """
+        states = {}
+        for rec in self._iter_records():
+            if rec.get("type") != "lease":
+                continue
+            job = rec.get("job")
+            op = rec.get("op")
+            worker = rec.get("worker")
+            if not isinstance(job, list) or len(job) != 2 \
+                    or worker is None:
+                continue
+            key = (job[0], job[1])
+            state = states.get(key)
+            if state is None:
+                state = states[key] = JobState(key)
+            if state.done:
+                continue
+            if op == "claim":
+                if state.owner is None:
+                    state.owner = worker
+                    state.deadline = rec.get("deadline", 0.0)
+                    state.claims += 1
+                elif state.owner == worker:
+                    # self re-claim (e.g. a restarted worker with the
+                    # same id): acts as a renewal
+                    state.deadline = rec.get("deadline", 0.0)
+                elif state.deadline < rec.get("ts", 0.0):
+                    state.owner = worker
+                    state.deadline = rec.get("deadline", 0.0)
+                    state.claims += 1
+                    state.reclaims += 1
+                # else: the bid lost — current lease is still live
+            elif op == "renew":
+                if state.owner == worker:
+                    state.deadline = rec.get("deadline", 0.0)
+            elif op == "release":
+                if state.owner == worker:
+                    state.owner = None
+                    state.deadline = 0.0
+            elif op == "complete":
+                state.done = True
+                state.done_by = worker
+                state.owner = None
+                state.deadline = 0.0
+        return states
+
+    def __repr__(self):
+        return "LeaseLog(%r)" % self.path

@@ -27,6 +27,8 @@ pool:
 """
 
 import multiprocessing
+import os
+import socket
 import time
 import zlib
 from collections import deque
@@ -76,6 +78,11 @@ class PipelineEngineSpec:
         engine.name = self.name
         return engine
 
+    def job_seed(self, campaign_seed, instance_name):
+        """The seed one job of this engine derives from the campaign
+        seed (see :func:`derive_job_seed`)."""
+        return derive_job_seed(campaign_seed, self.name, instance_name)
+
 
 class BaselineEngineSpec:
     """A baseline engine, named by its class in :mod:`repro.baselines`."""
@@ -91,6 +98,80 @@ class BaselineEngineSpec:
         import repro.baselines as baselines
 
         return getattr(baselines, self.cls)(seed=seed)
+
+    def job_seed(self, campaign_seed, instance_name):
+        return derive_job_seed(campaign_seed, self.name, instance_name)
+
+
+#: Prefix of dynamic racing engine groups: ``race:<a>+<b>[+<c>...]``
+#: runs the named specs concurrently on each instance and cancels the
+#: losers the moment one reaches a decisive verdict (see
+#: :mod:`repro.portfolio.racing`).
+RACE_PREFIX = "race:"
+
+
+class RaceEngineSpec:
+    """A racing *group* of registered specs, built on demand from a
+    ``race:<a>+<b>`` name — never stored in :data:`ENGINE_SPECS`
+    (groups are combinatorial; :func:`resolve_engine_spec` constructs
+    them)."""
+
+    __slots__ = ("name", "members", "description")
+
+    def __init__(self, name, members, description=""):
+        self.name = name
+        self.members = tuple(members)
+        self.description = description or \
+            "first-winner race of %s" % "+".join(members)
+
+    def build(self, seed):
+        from repro.portfolio.racing import RacingEngine
+
+        # ``seed`` is the *campaign* seed (see job_seed): each member
+        # derives its own per-(member, instance) seed inside the race,
+        # so the winner's trajectory equals its solo campaign run.
+        return RacingEngine(self.name, self.members, campaign_seed=seed)
+
+    def job_seed(self, campaign_seed, instance_name):
+        return campaign_seed
+
+
+def parse_race_members(name):
+    """The member spec names of a ``race:`` group name, validated."""
+    members = [m.strip() for m in name[len(RACE_PREFIX):].split("+")
+               if m.strip()]
+    if len(members) < 2:
+        raise ReproError(
+            "race group %r needs at least two '+'-separated engines "
+            "(e.g. 'race:manthan3+expansion')" % name)
+    if len(set(members)) != len(members):
+        raise ReproError("race group %r lists the same engine twice "
+                         "(identical seeds would race identical runs)"
+                         % name)
+    unknown = [m for m in members if m not in ENGINE_SPECS]
+    if unknown:
+        raise ReproError(
+            "race group %r names unknown engines %s (choose from %s); "
+            "race members must be registered specs, not nested groups"
+            % (name, ", ".join(unknown), ", ".join(engine_names())))
+    return members
+
+
+def resolve_engine_spec(name):
+    """Look up a registered spec, or construct a ``race:`` group spec.
+
+    The single resolution point behind :func:`make_engine`, the
+    :class:`~repro.api.Solver` façade, campaign scheduling, and the
+    CLI's engine validation.
+    """
+    spec = ENGINE_SPECS.get(name)
+    if spec is not None:
+        return spec
+    if name.startswith(RACE_PREFIX):
+        return RaceEngineSpec(name, parse_race_members(name))
+    raise ReproError("unknown engine %r (choose from %s, or a "
+                     "'race:<a>+<b>' group)"
+                     % (name, ", ".join(engine_names())))
 
 
 #: ``name -> spec``.  The single registry behind the CLI's
@@ -146,13 +227,8 @@ def engine_names():
 
 
 def make_engine(name, seed=None):
-    """Build a registered engine by name."""
-    try:
-        spec = ENGINE_SPECS[name]
-    except KeyError:
-        raise ReproError("unknown engine %r (choose from %s)"
-                         % (name, ", ".join(engine_names())))
-    return spec.build(seed)
+    """Build a registered engine (or ``race:`` group) by name."""
+    return resolve_engine_spec(name).build(seed)
 
 
 def derive_job_seed(base_seed, engine_name, instance_name):
@@ -228,6 +304,22 @@ def _execute_job(job, timeout, certify, certificate_budget,
                         keep_result=keep_result)
 
 
+def stamp_worker_identity(record, worker_id=None):
+    """Stamp the executing worker's identity into ``record.stats``.
+
+    Every run record — serial, pool, or elastic — carries
+    ``stats["worker"] = {"id", "host"}`` (store round-tripped), so a
+    merged multi-worker campaign stays attributable per record in
+    ``--report``.  ``setdefault`` keeps an earlier stamp (e.g. an
+    elastic worker's explicit id) authoritative.
+    """
+    host = socket.gethostname()
+    record.stats.setdefault(
+        "worker", {"id": worker_id or "%s-%d" % (host, os.getpid()),
+                   "host": host})
+    return record
+
+
 #: Phase marker a worker sends once its engine run is over: the job is
 #: then certifying (bounded by the certificate conflict budget, not the
 #: engine wall clock), so the parent exempts it from the hard kill —
@@ -288,6 +380,7 @@ def _worker_main(job, timeout, certify, certificate_budget, conn,
         record = RunRecord(job.engine_name, job.instance.name,
                            Status.UNKNOWN, 0.0,
                            reason="worker error: %r" % (exc,))
+    stamp_worker_identity(record)
     try:
         conn.send(record)
     except Exception:
@@ -312,9 +405,10 @@ def _run_serial(jobs, timeout, certify, certificate_budget, emit,
             def listener(event, _job=job):
                 event_sink(_job.engine_name, _job.instance.name, event)
         emit(job.index,
-             _execute_job(job, timeout, certify, certificate_budget,
-                          listener=listener, cancel=cancel,
-                          keep_result=keep_result))
+             stamp_worker_identity(
+                 _execute_job(job, timeout, certify, certificate_budget,
+                              listener=listener, cancel=cancel,
+                              keep_result=keep_result)))
 
 
 def _cancelled_record(job, started=False):
@@ -587,12 +681,9 @@ def run_campaign(instances, engines, timeout=None, certify=True,
     specs = []
     for entry in engines:
         if isinstance(entry, str):
-            if entry not in ENGINE_SPECS:
-                raise ReproError("unknown engine %r (choose from %s)"
-                                 % (entry, ", ".join(engine_names())))
-            specs.append((entry, None))
+            specs.append((entry, None, resolve_engine_spec(entry)))
         else:
-            specs.append((entry.name, entry))
+            specs.append((entry.name, entry, None))
 
     done = {}
     if store is not None and resume and store.exists():
@@ -612,15 +703,18 @@ def run_campaign(instances, engines, timeout=None, certify=True,
     jobs_list = []
     slots = []  # (engine_name, instance_name) in canonical table order
     for instance in instances:
-        for engine_name, engine in specs:
+        for engine_name, engine, spec in specs:
             pair = (engine_name, instance.name)
             slots.append(pair)
             if pair in done:
                 continue
+            job_seed = (spec.job_seed(seed, instance.name)
+                        if spec is not None
+                        else derive_job_seed(seed, engine_name,
+                                             instance.name))
             jobs_list.append(_Job(
                 index=len(jobs_list), engine_name=engine_name,
-                engine=engine, instance=instance,
-                seed=derive_job_seed(seed, engine_name, instance.name)))
+                engine=engine, instance=instance, seed=job_seed))
 
     executed = {}
 

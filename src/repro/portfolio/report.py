@@ -66,6 +66,60 @@ def resilience_summary(table):
     return out
 
 
+def race_summary(table):
+    """Aggregate racing outcomes, or ``None`` when nothing raced.
+
+    Reads the ``stats["race"]`` block
+    :class:`~repro.portfolio.racing.RacingEngine` attaches to every
+    race record: wins per member spec, and the wall clock saved versus
+    the slowest member that ran to a natural finish (cancelled losers
+    never reveal their full solo time, so this is a lower bound).
+    """
+    races = 0
+    wins = {}
+    saved = 0.0
+    for record in table.records:
+        race = record.stats.get("race")
+        if not isinstance(race, dict):
+            continue
+        races += 1
+        winner = race.get("winner")
+        if winner:
+            wins[winner] = wins.get(winner, 0) + 1
+        saved += race.get("saved", 0.0)
+    if not races:
+        return None
+    return {"races": races, "wins": wins, "saved": saved}
+
+
+def elastic_summary(table):
+    """Aggregate elastic-campaign accounting, or ``None``.
+
+    Only merged elastic campaigns carry ``stats["lease"]`` (stamped by
+    :func:`~repro.portfolio.elastic.merge_shards`); per-record
+    ``stats["worker"]`` attributes each run to the worker that
+    executed it.
+    """
+    leased = 0
+    claims = 0
+    reclaims = 0
+    workers = {}
+    for record in table.records:
+        lease = record.stats.get("lease")
+        if not isinstance(lease, dict):
+            continue
+        leased += 1
+        claims += lease.get("claims", 0)
+        reclaims += lease.get("reclaims", 0)
+        worker = (record.stats.get("worker") or {}).get("id") \
+            or lease.get("worker") or "?"
+        workers[worker] = workers.get(worker, 0) + 1
+    if not leased:
+        return None
+    return {"runs": leased, "claims": claims, "reclaims": reclaims,
+            "workers": workers}
+
+
 def render_report(table, main_engine="manthan3", display_names=None,
                   slack=10.0):
     """Render the full evaluation report; returns a list of lines."""
@@ -129,6 +183,25 @@ def render_report(table, main_engine="manthan3", display_names=None,
         lines.append("  worker crashes:    %d" % resilience["crashed"])
         lines.append("  worker OOMs:       %d" % resilience["oom"])
         lines.append("  oracle failovers:  %d" % resilience["failovers"])
+
+    race = race_summary(table)
+    if race:
+        lines.append("")
+        lines.append("-- engine racing --")
+        lines.append("  raced runs:        %d" % race["races"])
+        for member, count in sorted(race["wins"].items()):
+            lines.append("  wins %-14s %d" % (member, count))
+        lines.append("  wall-clock saved vs slowest finisher: %.3f s"
+                     % race["saved"])
+
+    elastic = elastic_summary(table)
+    if elastic:
+        lines.append("")
+        lines.append("-- elastic campaign --")
+        for worker, count in sorted(elastic["workers"].items()):
+            lines.append("  worker %-16s %d jobs" % (worker, count))
+        lines.append("  reclaimed leases:  %d (of %d claims)"
+                     % (elastic["reclaims"], elastic["claims"]))
 
     lines.append("")
     lines.append("-- pairwise comparisons (Figures 7-10) --")

@@ -102,13 +102,35 @@ class CampaignStore:
                     % (self.path, number + 1))
 
     def read_meta(self):
-        """The campaign header dict, or ``None`` for a bare/missing file."""
+        """The campaign header dict, or ``None`` for a bare/missing file.
+
+        Reads only the header line — O(1) however many records the
+        store holds (resume checks and elastic workers call this on
+        multi-thousand-record campaigns).  An undecodable first line
+        is tolerated only when it is also the *last* line (one torn
+        write from an interrupted campaign); anywhere else it is
+        corruption, same as :meth:`_iter_lines`.
+        """
         if not self.exists():
             return None
-        for data in self._iter_lines():
-            if data.get("type") == "campaign":
-                return data
-            return None
+        with open(self.path, "rb") as handle:
+            while True:
+                line = handle.readline()
+                if not line:
+                    return None
+                if line.strip():
+                    break
+            has_more = bool(handle.read(1))
+        try:
+            data = json.loads(line.decode("utf-8", "replace"))
+        except ValueError:
+            if has_more:
+                raise ReproError(
+                    "corrupt campaign store %s: undecodable line 1"
+                    % self.path)
+            return None  # torn write from an interrupted campaign
+        if data.get("type") == "campaign":
+            return data
         return None
 
     def iter_records(self):

@@ -45,7 +45,8 @@ FROZEN_SIGNATURES = {
         "(self, problems, timeout=None, jobs=1, seed=None, "
         "certify=True, certificate_budget=200000, store=None, "
         "resume=False, progress=None, cancel=None, max_retries=0, "
-        "retry_backoff=0.25, memory_limit_mb=None)",
+        "retry_backoff=0.25, memory_limit_mb=None, elastic=False, "
+        "worker_id=None, lease_duration=30.0)",
     "Solver.subscribe": "(self, listener)",
     "Solver.unsubscribe": "(self, listener)",
     "Solution.to_verilog": "(self, module_name='henkin_patch')",
@@ -61,7 +62,8 @@ FROZEN_SIGNATURES = {
         "(problems, solvers, timeout=None, jobs=1, seed=None, "
         "certify=True, certificate_budget=200000, store=None, "
         "resume=False, progress=None, cancel=None, max_retries=0, "
-        "retry_backoff=0.25, memory_limit_mb=None)",
+        "retry_backoff=0.25, memory_limit_mb=None, elastic=False, "
+        "worker_id=None, lease_duration=30.0)",
     "detect_format": "(text, path=None)",
 }
 

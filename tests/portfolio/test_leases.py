@@ -1,0 +1,229 @@
+"""Tests for the append-only lease log behind elastic campaigns.
+
+Every corner of the protocol that decides job ownership is pinned
+here with explicit ``now=`` timestamps, because resolution must be a
+pure function of the log: two workers (or a later replay) reading the
+same bytes must agree on every owner.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.portfolio.leases import (
+    DEFAULT_LEASE_DURATION,
+    HEARTBEAT_FRACTION,
+    LeaseLog,
+    lease_log_path,
+)
+from repro.utils.errors import ReproError
+
+JOB = ("manthan3", "inst-a")
+OTHER = ("expansion", "inst-a")
+
+
+@pytest.fixture
+def log(tmp_path):
+    return LeaseLog(str(tmp_path / "camp.jsonl.leases"))
+
+
+class TestPaths:
+    def test_lease_log_lives_next_to_the_store(self):
+        assert lease_log_path("/x/camp.jsonl") == "/x/camp.jsonl.leases"
+
+
+class TestClaims:
+    def test_claim_on_empty_log_wins(self, log):
+        assert log.claim(JOB, "w1", duration=30, now=100.0)
+        state = log.resolve()[JOB]
+        assert state.owner == "w1"
+        assert state.deadline == 130.0
+        assert state.claims == 1
+        assert state.reclaims == 0
+
+    def test_simultaneous_claims_first_writer_wins(self, log):
+        # Two workers bid for the same job with the *same* timestamp;
+        # append order is the only tiebreak, and both bidders reach the
+        # same verdict by re-reading the log.
+        assert log.claim(JOB, "w1", duration=30, now=100.0)
+        assert not log.claim(JOB, "w2", duration=30, now=100.0)
+        state = log.resolve()[JOB]
+        assert state.owner == "w1"
+        assert state.claims == 1  # the losing bid transferred nothing
+
+    def test_losing_bid_visible_identically_to_third_party(self, log):
+        log.claim(JOB, "w1", duration=30, now=100.0)
+        log.claim(JOB, "w2", duration=30, now=100.0)
+        observer = LeaseLog(log.path)
+        assert observer.resolve()[JOB].owner == "w1"
+
+    def test_claims_on_distinct_jobs_do_not_interact(self, log):
+        assert log.claim(JOB, "w1", duration=30, now=100.0)
+        assert log.claim(OTHER, "w2", duration=30, now=100.0)
+        states = log.resolve()
+        assert states[JOB].owner == "w1"
+        assert states[OTHER].owner == "w2"
+
+    def test_self_reclaim_acts_as_renewal(self, log):
+        # A restarted worker with the same id may re-claim its own
+        # live lease; the deadline just extends.
+        assert log.claim(JOB, "w1", duration=30, now=100.0)
+        assert log.claim(JOB, "w1", duration=30, now=110.0)
+        state = log.resolve()[JOB]
+        assert state.owner == "w1"
+        assert state.deadline == 140.0
+        assert state.claims == 1  # no ownership transfer happened
+
+
+class TestExpiryAndReclaim:
+    def test_expired_lease_is_reclaimed(self, log):
+        assert log.claim(JOB, "w1", duration=30, now=100.0)
+        # 131 > deadline 130: w1 stopped heartbeating, w2 takes over.
+        assert log.claim(JOB, "w2", duration=30, now=131.0)
+        state = log.resolve()[JOB]
+        assert state.owner == "w2"
+        assert state.claims == 2
+        assert state.reclaims == 1
+
+    def test_live_lease_cannot_be_reclaimed(self, log):
+        assert log.claim(JOB, "w1", duration=30, now=100.0)
+        assert not log.claim(JOB, "w2", duration=30, now=129.0)
+        assert log.resolve()[JOB].owner == "w1"
+
+    def test_expiry_compares_stored_deadline_to_claim_ts(self, log):
+        # Resolution never consults the reader's clock: the verdict is
+        # decided by the claim record's own timestamp, so replaying the
+        # log at any later time resolves identically.
+        log.claim(JOB, "w1", duration=30, now=100.0)
+        log.claim(JOB, "w2", duration=30, now=131.0)
+        replay = LeaseLog(log.path)
+        state = replay.resolve()[JOB]
+        assert state.owner == "w2"
+        assert state.reclaims == 1
+
+    def test_free_and_held_track_the_local_clock(self, log):
+        log.claim(JOB, "w1", duration=30, now=100.0)
+        state = log.resolve()[JOB]
+        assert state.held(now=120.0)
+        assert not state.free(now=120.0)
+        assert not state.held(now=131.0)
+        assert state.free(now=131.0)
+
+
+class TestHeartbeat:
+    def test_renewal_defeats_a_would_be_reclaimer(self, log):
+        # The holder heartbeats before its deadline; a claim that would
+        # have won against the *original* deadline now loses.
+        log.claim(JOB, "w1", duration=0.2, now=100.0)
+        log.renew(JOB, "w1", duration=0.2, now=100.15)
+        assert not log.claim(JOB, "w2", duration=0.2, now=100.25)
+        assert log.resolve()[JOB].owner == "w1"
+
+    def test_without_renewal_the_same_claim_wins(self, log):
+        # Control for the test above: identical timeline minus the
+        # heartbeat, and the stalled worker loses its job.
+        log.claim(JOB, "w1", duration=0.2, now=100.0)
+        assert log.claim(JOB, "w2", duration=0.2, now=100.25)
+        state = log.resolve()[JOB]
+        assert state.owner == "w2"
+        assert state.reclaims == 1
+
+    def test_renewal_from_non_holder_is_ignored(self, log):
+        log.claim(JOB, "w1", duration=30, now=100.0)
+        log.renew(JOB, "w2", duration=30, now=110.0)
+        state = log.resolve()[JOB]
+        assert state.owner == "w1"
+        assert state.deadline == 130.0
+
+    def test_heartbeat_period_gives_several_chances(self):
+        # A holder renewing every duration/HEARTBEAT_FRACTION seconds
+        # must miss multiple beats before the lease can expire.
+        assert DEFAULT_LEASE_DURATION / HEARTBEAT_FRACTION * 2 \
+            < DEFAULT_LEASE_DURATION
+
+
+class TestReleaseAndComplete:
+    def test_release_frees_the_job_immediately(self, log):
+        log.claim(JOB, "w1", duration=30, now=100.0)
+        log.release(JOB, "w1", now=101.0)
+        state = log.resolve()[JOB]
+        assert state.owner is None
+        assert state.free(now=101.0)
+        # and a fresh (non-expired) claim is a claim, not a reclaim
+        assert log.claim(JOB, "w2", duration=30, now=102.0)
+        assert log.resolve()[JOB].reclaims == 0
+
+    def test_release_from_non_holder_is_ignored(self, log):
+        log.claim(JOB, "w1", duration=30, now=100.0)
+        log.release(JOB, "w2", now=101.0)
+        assert log.resolve()[JOB].owner == "w1"
+
+    def test_first_complete_is_final(self, log):
+        # A stale worker whose lease was reclaimed mid-run may publish
+        # a late complete; it must never displace the reclaimer's.
+        log.claim(JOB, "w1", duration=30, now=100.0)
+        log.claim(JOB, "w2", duration=30, now=131.0)  # reclaim
+        log.complete(JOB, "w2", now=135.0)
+        log.complete(JOB, "w1", now=136.0)  # late, loses
+        state = log.resolve()[JOB]
+        assert state.done
+        assert state.done_by == "w2"
+
+    def test_done_job_rejects_further_claims(self, log):
+        log.claim(JOB, "w1", duration=30, now=100.0)
+        log.complete(JOB, "w1", now=101.0)
+        assert not log.claim(JOB, "w2", duration=30, now=200.0)
+        assert not log.resolve()[JOB].free(now=200.0)
+
+
+class TestTornLines:
+    def test_torn_line_mid_file_is_skipped(self, log):
+        # A SIGKILL mid-append leaves a torn line that later appends
+        # from live workers bury mid-file; lease readers skip it (a
+        # dropped claim is always safe — at worst the job expires and
+        # is reclaimed).
+        log.claim(JOB, "w1", duration=30, now=100.0)
+        with open(log.path, "ab") as handle:
+            handle.write(b'{"type": "lease", "op": "cl')  # torn
+        log.claim(OTHER, "w2", duration=30, now=100.0)
+        states = log.resolve()
+        assert states[JOB].owner == "w1"
+        assert states[OTHER].owner == "w2"
+
+    def test_malformed_records_are_skipped(self, log):
+        with open(log.path, "ab") as handle:
+            handle.write(json.dumps(
+                {"type": "lease", "op": "claim", "job": "not-a-pair",
+                 "worker": "w1"}).encode() + b"\n")
+        log.claim(JOB, "w1", duration=30, now=100.0)
+        assert log.resolve()[JOB].owner == "w1"
+
+    def test_append_is_one_atomic_write(self, log):
+        # Each record is exactly one newline-terminated line however
+        # many processes interleave appends.
+        for i in range(50):
+            log.claim(JOB, "w%d" % i, duration=30, now=100.0)
+        with open(log.path, "rb") as handle:
+            data = handle.read()
+        assert data.endswith(b"\n")
+        assert len(data.splitlines()) == 50
+
+
+class TestMeta:
+    def test_first_meta_wins_and_matching_join_passes(self, log):
+        first = log.ensure_meta({"timeout": 10.0, "seed": 7})
+        again = log.ensure_meta({"timeout": 10.0, "seed": 7})
+        assert first["timeout"] == again["timeout"] == 10.0
+
+    def test_mismatched_join_is_refused(self, log):
+        log.ensure_meta({"timeout": 10.0, "seed": 7})
+        with pytest.raises(ReproError, match="timeout"):
+            log.ensure_meta({"timeout": 20.0, "seed": 7})
+        with pytest.raises(ReproError, match="seed"):
+            log.ensure_meta({"timeout": 10.0, "seed": 8})
+
+    def test_missing_log_resolves_empty(self, log):
+        assert not log.exists()
+        assert log.resolve() == {}
+        assert log.read_meta() is None

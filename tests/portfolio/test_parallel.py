@@ -209,3 +209,43 @@ class TestParallelSequentialEquivalence:
                 for r in loaded.records} \
             == {(r.engine, r.instance, r.status)
                 for r in table.records}
+
+
+class TestWorkerStamp:
+    """Every run record — serial or pool — attributes its executing
+    worker (``stats["worker"] = {"id", "host"}``), store round-tripped,
+    so merged multi-worker campaigns stay attributable per record."""
+
+    def test_serial_records_carry_worker_identity(self):
+        table = run_campaign([tiny_instance("a")], ["expansion"],
+                             timeout=10, jobs=1, seed=7)
+        worker = table.records[0].stats["worker"]
+        assert worker["host"]
+        assert worker["id"].endswith("-%d" % os.getpid())
+
+    def test_pool_records_carry_the_child_pid(self):
+        table = run_campaign([tiny_instance("a"), tiny_instance("b")],
+                             ["expansion"], timeout=10, jobs=2, seed=7)
+        for record in table.records:
+            worker = record.stats["worker"]
+            assert worker["host"]
+            # stamped inside the forked worker, not the parent
+            assert not worker["id"].endswith("-%d" % os.getpid())
+
+    def test_stamp_round_trips_the_store(self, tmp_path):
+        from repro.portfolio import CampaignStore
+
+        store = CampaignStore(str(tmp_path / "c.jsonl"))
+        run_campaign([tiny_instance("a")], ["expansion"], timeout=10,
+                     seed=7, store=store)
+        loaded = store.load()
+        assert loaded.records[0].stats["worker"]["id"]
+
+    def test_existing_stamp_is_kept(self):
+        from repro.portfolio.parallel import stamp_worker_identity
+        from repro.portfolio.runner import RunRecord
+
+        record = RunRecord("e", "i", Status.UNKNOWN, 0.0,
+                           stats={"worker": {"id": "w1", "host": "h"}})
+        stamp_worker_identity(record, "other")
+        assert record.stats["worker"]["id"] == "w1"

@@ -1,6 +1,7 @@
 """Tests for the persistent JSONL campaign store."""
 
 import json
+import os
 
 import pytest
 
@@ -148,6 +149,76 @@ class TestCampaignStore:
         store.close()
         table = store.load()
         assert table.record_for("e", "i").status == Status.SYNTHESIZED
+
+
+class TestReadMetaO1:
+    """``read_meta`` must read the header line only — elastic workers
+    and resume checks call it on multi-thousand-record campaigns."""
+
+    def test_reads_only_the_first_line_of_a_large_store(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        store = CampaignStore(str(path))
+        store.open(meta={"timeout": 9.0, "seed": 7})
+        record = make_records()[0]
+        for _ in range(5000):
+            store.append(record)
+        store.close()
+        # Corrupt a *middle* line: a full-file reader would raise, a
+        # header-only reader never sees it.
+        with open(path, "r+") as handle:
+            handle.seek(os.path.getsize(path) // 2)
+            handle.write("XXXX-definitely-not-json-XXXX")
+        with pytest.raises(ReproError):
+            list(store.iter_records())  # control: full reads do raise
+        assert store.read_meta()["timeout"] == 9.0
+
+    def test_header_read_cost_is_independent_of_store_size(self,
+                                                           tmp_path):
+        small = CampaignStore(str(tmp_path / "small.jsonl"))
+        small.open(meta={"timeout": 1.0})
+        small.close()
+        big = CampaignStore(str(tmp_path / "big.jsonl"))
+        big.open(meta={"timeout": 1.0})
+        record = make_records()[0]
+        for _ in range(20000):
+            big.append(record)
+        big.close()
+
+        def cost(store):
+            import time
+            best = float("inf")
+            for _ in range(5):
+                start = time.perf_counter()
+                store.read_meta()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        # generous 50x bound: an O(n) implementation over 20k records
+        # is thousands of times slower than the header-only read
+        assert cost(big) < cost(small) * 50 + 0.005
+
+    def test_torn_solo_header_returns_none(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text('{"type": "campaign", "time')  # torn, only line
+        assert CampaignStore(str(path)).read_meta() is None
+
+    def test_torn_first_line_with_more_content_raises(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text('{"type": "campaign", "time\n'
+                        '{"type": "run"}\n')
+        with pytest.raises(ReproError, match="line 1"):
+            CampaignStore(str(path)).read_meta()
+
+    def test_blank_leading_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text('\n\n{"type": "campaign", "timeout": 3.0}\n')
+        assert CampaignStore(str(path)).read_meta()["timeout"] == 3.0
+
+    def test_headerless_store_returns_none(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text(json.dumps(record_to_dict(make_records()[0]))
+                        + "\n")
+        assert CampaignStore(str(path)).read_meta() is None
 
 
 class TestTruncationRecovery:
