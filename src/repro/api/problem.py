@@ -193,5 +193,18 @@ class Problem:
         """Instance statistics (variables, clauses, dependency widths)."""
         return self.instance.stats()
 
+    @property
+    def fingerprint(self):
+        """The canonical :class:`~repro.cache.fingerprint.Fingerprint`.
+
+        Computed on first access and memoized on the wrapped instance,
+        so a batch run (or repeated solves of the same ``Problem``)
+        canonicalizes each instance exactly once no matter how many
+        cache lookups and stores consult it.
+        """
+        from repro.cache.fingerprint import fingerprint_instance
+
+        return fingerprint_instance(self.instance)
+
     def __repr__(self):
         return "Problem(%r, format=%r)" % (self.name, self.format)

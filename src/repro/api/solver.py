@@ -25,6 +25,7 @@ conveniences; multi-engine campaigns pass several solvers to
 
 from repro.api.problem import Problem
 from repro.api.solution import Solution
+from repro.cache import cache_lookup, cache_store, ensure_cache
 from repro.core.result import Status, SynthesisResult
 from repro.portfolio.parallel import PipelineEngineSpec, \
     resolve_engine_spec
@@ -57,15 +58,23 @@ class Solver:
         Label for records and event stamping; defaults to the engine
         name, so give customized solvers distinct names before batching
         them together.
+    cache:
+        A :class:`~repro.cache.store.SolutionCache` (or a path to one)
+        consulted by :meth:`solve`: equivalent resubmissions — same
+        instance up to variable renaming and clause/literal reordering —
+        return a **re-certified** cached solution instead of a cold
+        solve, and decisive cold results are stored back.  ``None``
+        (the default) disables caching entirely.
     """
 
     def __init__(self, engine="manthan3", seed=None, phases=None,
-                 overrides=None, config=None, name=None):
+                 overrides=None, config=None, name=None, cache=None):
         if config is not None and (overrides or seed is not None):
             raise ReproError(
                 "pass either a complete config or seed/overrides, "
                 "not both")
         self.seed = seed
+        self.cache = ensure_cache(cache)
         self._listeners = []
         self._custom = bool(phases or overrides or config is not None)
         self._spec_name = engine if isinstance(engine, str) else None
@@ -138,8 +147,23 @@ class Solver:
         repair-iteration boundary with a partial-bearing ``CANCELLED``
         result; for non-pipeline engines it is only honored between
         runs.
+
+        With a ``cache`` configured, the cache is consulted first: a
+        hit is re-certified against *this* instance before it is
+        returned (``solution.certified`` is ``True``, and
+        ``stats["cache"]`` records the fingerprint and certification
+        time); on a miss the cold solve runs exactly as without a
+        cache, its decisive outcome is stored back, and the result is
+        stamped with the miss's ``stats["cache"]`` block.
         """
         problem = Problem.load(problem)
+        cache_info = None
+        if self.cache is not None:
+            cached, cache_info = cache_lookup(self.cache,
+                                              problem.instance)
+            if cached is not None:
+                return Solution(problem, cached, engine=self.name,
+                                certified=True)
         engine = self._engine
         if getattr(engine, "supports_events", False):
             result = engine.run(problem.instance, timeout=timeout,
@@ -151,6 +175,9 @@ class Solver:
                                          reason="cancelled by caller")
             else:
                 result = engine.run(problem.instance, timeout=timeout)
+        if self.cache is not None:
+            cache_store(self.cache, problem.instance, result)
+            result.stats["cache"] = cache_info
         return Solution(problem, result, engine=self.name)
 
     def solve_batch(self, problems, timeout=None, jobs=1, seed=None,
@@ -158,13 +185,14 @@ class Solver:
                     resume=False, progress=None, cancel=None,
                     max_retries=0, retry_backoff=0.25,
                     memory_limit_mb=None, elastic=False, worker_id=None,
-                    lease_duration=30.0):
+                    lease_duration=30.0, solution_cache=None):
         """Solve many problems through the portfolio pool.
 
         Delegates to :func:`solve_batch` with this solver alone, so the
         returned :class:`BatchResult`'s ``solutions`` list aligns with
         ``problems``.  ``seed`` is the campaign seed for per-job
         seeding (defaults to this solver's own seed).
+        ``solution_cache`` defaults to this solver's own ``cache``.
         """
         return solve_batch(problems, [self], timeout=timeout, jobs=jobs,
                            seed=self.seed if seed is None else seed,
@@ -175,7 +203,9 @@ class Solver:
                            retry_backoff=retry_backoff,
                            memory_limit_mb=memory_limit_mb,
                            elastic=elastic, worker_id=worker_id,
-                           lease_duration=lease_duration)
+                           lease_duration=lease_duration,
+                           solution_cache=self.cache
+                           if solution_cache is None else solution_cache)
 
     def _portfolio_entry(self):
         """What to hand the campaign scheduler for this solver.
@@ -273,7 +303,7 @@ def solve_batch(problems, solvers, timeout=None, jobs=1, seed=None,
                 resume=False, progress=None, cancel=None,
                 max_retries=0, retry_backoff=0.25,
                 memory_limit_mb=None, elastic=False, worker_id=None,
-                lease_duration=30.0):
+                lease_duration=30.0, solution_cache=None):
     """Run every solver on every problem through the portfolio pool.
 
     The scheduling, isolation, certification, persistence and resume
@@ -291,6 +321,13 @@ def solve_batch(problems, solvers, timeout=None, jobs=1, seed=None,
     ``memory_limit_mb`` caps each worker's address space — the
     resilience knobs of ``run_campaign``, passed through verbatim.
     Returns a :class:`BatchResult`.
+
+    ``solution_cache`` (a :class:`~repro.cache.store.SolutionCache` or
+    a path) lets the campaign answer equivalent resubmissions from the
+    certified solution cache: hits are re-certified parent-side and
+    recorded without ever entering the pool, misses run cold exactly as
+    without a cache (and are stamped with their ``stats["cache"]``
+    block), and decisive cold outcomes are stored back.
 
     ``elastic=True`` joins (or starts) a shared multi-worker campaign
     instead of running a private pool: this process becomes one
@@ -360,7 +397,8 @@ def solve_batch(problems, solvers, timeout=None, jobs=1, seed=None,
             worker_id=worker_id, timeout=timeout, seed=seed,
             certify=certify, certificate_budget=certificate_budget,
             lease_duration=lease_duration, progress=progress,
-            event_sink=event_sink, cancel=cancel)
+            event_sink=event_sink, cancel=cancel,
+            solution_cache=solution_cache)
         table = summary["table"]
         if table is None:  # drained before completion: partial view
             from repro.portfolio.elastic import merge_shards
@@ -376,5 +414,5 @@ def solve_batch(problems, solvers, timeout=None, jobs=1, seed=None,
         store=store, resume=resume, progress=progress,
         event_sink=event_sink, cancel=cancel, keep_results=True,
         max_retries=max_retries, retry_backoff=retry_backoff,
-        memory_limit_mb=memory_limit_mb)
+        memory_limit_mb=memory_limit_mb, solution_cache=solution_cache)
     return BatchResult(problems, solvers, table)

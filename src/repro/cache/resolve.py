@@ -1,0 +1,126 @@
+"""Cache consultation and population: the soundness gate.
+
+Every entry point funnels through two functions:
+
+* :func:`cache_lookup` fingerprints the instance, fetches the entry,
+  remaps the stored canonical solution through the *inverse* witnessing
+  permutation onto the instance's own numbering, and **re-certifies the
+  remapped claim from scratch** (``check_henkin_vector_incremental`` /
+  ``check_false_witness`` — the incremental checker returns the same
+  verdicts as ``check_henkin_vector``, just faster).  Only a certified result is ever returned;
+  anything else — no entry, hash collision, corrupt payload, poisoned
+  vector — evicts the entry and reports a miss, so the caller falls
+  through to a cold solve.  Correctness therefore never depends on the
+  fingerprint or the store; they can only cost time.
+* :func:`cache_store` writes a decisive outcome back, remapped *into*
+  canonical numbering, so any equivalent future submission can use it.
+
+Both stamp/return the ``stats["cache"]`` block campaign records carry:
+``{"fingerprint", "hit", "certify_s"?, "evicted"?}``.
+"""
+
+import time
+
+from repro.cache.fingerprint import fingerprint_instance, remap_functions
+from repro.cache.store import SolutionCache
+from repro.core.result import Status, SynthesisResult
+from repro.dqbf.certificates import (
+    check_false_witness,
+    check_henkin_vector_incremental,
+)
+
+__all__ = ["cache_lookup", "cache_store", "ensure_cache"]
+
+
+def ensure_cache(cache):
+    """Coerce a path (or None/``SolutionCache``) into a cache object."""
+    if cache is None or isinstance(cache, SolutionCache):
+        return cache
+    return SolutionCache(cache)
+
+
+def cache_lookup(cache, instance, certificate_budget=200_000):
+    """Consult ``cache`` for ``instance``; returns ``(result, info)``.
+
+    ``result`` is a fully re-certified :class:`SynthesisResult` on a
+    valid hit — never an unchecked one — or ``None`` on a miss.
+    ``info`` is the ``stats["cache"]`` block either way (misses carry
+    ``hit: False`` so cold records are attributable too, plus
+    ``evicted: True`` when a poisoned entry was just dropped).
+    """
+    started = time.perf_counter()
+    fingerprint = fingerprint_instance(instance)
+    info = {"fingerprint": fingerprint.digest, "hit": False}
+    entry = cache.get(fingerprint.digest)
+    if entry is None:
+        return None, info
+
+    certify_started = time.perf_counter()
+    try:
+        if entry.status == Status.SYNTHESIZED:
+            functions = remap_functions(entry.functions,
+                                        fingerprint.inverse())
+            cert = check_henkin_vector_incremental(
+                instance, functions, conflict_budget=certificate_budget)
+            if cert.valid:
+                info["hit"] = True
+                info["certify_s"] = round(
+                    time.perf_counter() - certify_started, 6)
+                stats = {"wall_time": round(
+                    time.perf_counter() - started, 6), "cache": info}
+                return SynthesisResult(Status.SYNTHESIZED,
+                                       functions=functions,
+                                       stats=stats), info
+        elif entry.status == Status.FALSE:
+            inverse = fingerprint.inverse()
+            witness = {inverse[x]: value
+                       for x, value in entry.witness.items()}
+            cert = check_false_witness(
+                instance, witness, conflict_budget=certificate_budget)
+            if cert.valid:
+                info["hit"] = True
+                info["certify_s"] = round(
+                    time.perf_counter() - certify_started, 6)
+                stats = {"wall_time": round(
+                    time.perf_counter() - started, 6), "cache": info}
+                return SynthesisResult(
+                    Status.FALSE, witness=witness,
+                    reason="cached falsity witness re-certified",
+                    stats=stats), info
+    except Exception:
+        # A colliding digest can hand us an entry of the wrong shape
+        # (KeyError in the remap, arity mismatches in the checker);
+        # shape errors and refuted certificates get the same cure.
+        pass
+
+    cache.evict(fingerprint.digest)
+    info["evicted"] = True
+    return None, info
+
+
+def cache_store(cache, instance, result):
+    """Record a decisive cold-solve outcome; no-op otherwise.
+
+    Only ``SYNTHESIZED`` vectors and witness-bearing ``FALSE``
+    verdicts are cacheable (nothing else carries a re-checkable
+    certificate).  Entries are stored in canonical numbering via the
+    witnessing permutation.  Storing is optimistic — an uncertified or
+    even wrong result cannot poison correctness because every hit is
+    re-certified before use.
+    """
+    if result.status == Status.SYNTHESIZED and result.functions:
+        fingerprint = fingerprint_instance(instance)
+        cache.put(fingerprint.digest, Status.SYNTHESIZED,
+                  functions=remap_functions(result.functions,
+                                            fingerprint.mapping))
+        return True
+    if result.status == Status.FALSE and result.witness is not None:
+        fingerprint = fingerprint_instance(instance)
+        mapping = fingerprint.mapping
+        witness = {mapping[x]: bool(result.witness[x])
+                   for x in instance.universals
+                   if x in result.witness}
+        if len(witness) == len(instance.universals):
+            cache.put(fingerprint.digest, Status.FALSE, witness=witness)
+            return True
+    return False

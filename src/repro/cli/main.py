@@ -15,7 +15,14 @@ from repro.sat.backend import backend_names
 from repro.utils.errors import ReproError
 
 
-def _make_solver(name, seed=None, sat_backend=None):
+def _solution_cache(args):
+    """The ``--solution-cache`` path, unless ``--no-cache`` wins."""
+    if getattr(args, "no_cache", False):
+        return None
+    return getattr(args, "solution_cache", None)
+
+
+def _make_solver(name, seed=None, sat_backend=None, cache=None):
     overrides = None
     if sat_backend:
         from repro.sat.backend import backend_available
@@ -32,7 +39,7 @@ def _make_solver(name, seed=None, sat_backend=None):
                 % sat_backend)
         overrides = {"sat_backend": sat_backend}
     try:
-        return Solver(name, seed=seed, overrides=overrides)
+        return Solver(name, seed=seed, overrides=overrides, cache=cache)
     except ReproError as exc:
         raise SystemExit(str(exc))
 
@@ -87,31 +94,40 @@ def _phase_progress(event):
 def cmd_synth(args):
     problem = _load_problem(args.file, args.format)
     solver = _make_solver(args.engine, args.seed,
-                          sat_backend=args.sat_backend)
+                          sat_backend=args.sat_backend,
+                          cache=_solution_cache(args))
     if args.verbose:
         solver.subscribe(_phase_progress)
     solution = solver.solve(problem, timeout=args.timeout)
-    print("verdict: %s  (%.3f s)" % (solution.status,
-                                     solution.stats.get("wall_time", 0.0)),
+    cache_info = solution.stats.get("cache") or {}
+    print("verdict: %s  (%.3f s)%s"
+          % (solution.status, solution.stats.get("wall_time", 0.0),
+             "  [cache hit]" if cache_info.get("hit") else ""),
           file=sys.stderr)
     if solution.reason:
         print("reason: %s" % solution.reason, file=sys.stderr)
 
     if solution.status == Status.FALSE:
         if solution.witness is not None:
-            cert = solution.certify()
+            # A cache hit arrives already re-certified against this
+            # very instance; anything else is checked here.
+            valid = solution.certified or solution.certify().valid
             print("falsity witness check: %s"
-                  % ("VALID" if cert.valid else "INVALID"),
+                  % ("VALID" if valid else "INVALID"),
                   file=sys.stderr)
         return 20
     if solution.status != Status.SYNTHESIZED:
         return 30
 
-    cert = solution.certify()
-    print("certificate: %s" % ("VALID" if cert.valid
-                               else "INVALID (%s)" % cert.reason),
+    if solution.certified:
+        valid, why = True, ""
+    else:
+        cert = solution.certify()
+        valid, why = cert.valid, cert.reason
+    print("certificate: %s" % ("VALID" if valid
+                               else "INVALID (%s)" % why),
           file=sys.stderr)
-    if not cert.valid:
+    if not valid:
         return 1
 
     if args.output_format == "infix":
@@ -235,18 +251,19 @@ def _run_elastic_worker(args, names, suite):
         suite, names, args.out, worker_id=args.worker_id,
         timeout=args.timeout, seed=args.seed, certify=True,
         lease_duration=args.lease_duration, drain_mode=args.drain,
-        progress=_print_progress if args.verbose else None)
+        progress=_print_progress if args.verbose else None,
+        solution_cache=_solution_cache(args))
     signal.signal(signal.SIGTERM,
                   lambda *_sig: worker.request_drain())
     try:
         summary = worker.run()
     except ReproError as exc:  # e.g. campaign parameter mismatch
         raise SystemExit(str(exc))
-    print("elastic worker %s: %d executed, %d recovered, %d reclaimed, "
-          "%d released%s"
+    print("elastic worker %s: %d executed (%d cache hits), "
+          "%d recovered, %d reclaimed, %d released%s"
           % (summary["worker_id"], summary["executed"],
-             summary["recovered"], summary["reclaimed"],
-             summary["released"],
+             summary["cache_hits"], summary["recovered"],
+             summary["reclaimed"], summary["released"],
              " (drained)" if summary["drained"] else ""),
           file=sys.stderr)
     if summary["complete"] and summary["table"] is not None:
@@ -302,7 +319,8 @@ def cmd_run_suite(args):
                             resume=args.resume, progress=progress,
                             max_retries=args.max_retries,
                             retry_backoff=args.retry_backoff,
-                            memory_limit_mb=args.memory_limit_mb)
+                            memory_limit_mb=args.memory_limit_mb,
+                            solution_cache=_solution_cache(args))
     except ReproError as exc:  # e.g. resume parameter mismatch
         raise SystemExit(str(exc))
     # progress fires only for executed runs; every other pair of the
@@ -347,6 +365,15 @@ def build_parser():
     synth.add_argument("--verbose", action="store_true",
                        help="render per-phase progress from the solve "
                             "event stream")
+    synth.add_argument("--solution-cache", default=None, metavar="PATH",
+                       help="certified solution cache (JSONL index + "
+                            "AIGER payloads next to it): equivalent "
+                            "resubmissions — same formula up to "
+                            "variable renaming and clause reordering — "
+                            "answer from the cache after independent "
+                            "re-certification")
+    synth.add_argument("--no-cache", action="store_true",
+                       help="ignore --solution-cache entirely")
     synth.add_argument("-o", "--output", default=None)
     synth.set_defaults(func=cmd_synth)
 
@@ -441,6 +468,16 @@ def build_parser():
                                 "'release' cancels the in-flight run "
                                 "and returns its lease, 'finish' "
                                 "completes it first (default release)")
+    run_suite.add_argument("--solution-cache", default=None,
+                           metavar="PATH",
+                           help="certified solution cache shared by the "
+                                "campaign (and by concurrent elastic "
+                                "workers): instances equivalent to a "
+                                "cached one answer instantly after "
+                                "re-certification; cold decisive "
+                                "outcomes are stored back")
+    run_suite.add_argument("--no-cache", action="store_true",
+                           help="ignore --solution-cache entirely")
     run_suite.set_defaults(func=cmd_run_suite)
     return parser
 

@@ -74,6 +74,61 @@ def check_henkin_vector(instance, functions, deadline=None,
     return CertificateResult(False, "verification budget exhausted")
 
 
+def check_henkin_vector_incremental(instance, functions, deadline=None,
+                                    conflict_budget=None, rng=None):
+    """:func:`check_henkin_vector`, decomposed for speed.
+
+    ``¬ϕ ∧ (Y ↔ f)`` is satisfiable iff some matrix clause ``c`` has
+    ``¬c ∧ (Y ↔ f)`` satisfiable, so instead of one monolithic solve
+    over the Tseitin encoding of the full disjunction ``∨ ¬c``, this
+    asserts the function definitions once and checks every clause as an
+    assumption set (``¬c`` is a conjunction of literals) against one
+    persistent solver.  Each check is heavily constrained — all of the
+    clause's literals are fixed — and the learnt clauses accumulate
+    across checks, the same effect that makes the engines' incremental
+    verification sessions cheap.  Verdicts (and counterexamples on
+    failure) agree with :func:`check_henkin_vector`; only the wall time
+    differs, which is why the solution cache re-certifies hits through
+    this path.  ``conflict_budget`` bounds the *total* conflicts across
+    all clause checks.
+    """
+    missing = [y for y in instance.existentials if y not in functions]
+    if missing:
+        return CertificateResult(False, "missing functions for %r" % missing)
+
+    for y in instance.existentials:
+        support = functions[y].support()
+        illegal = support - instance.dependencies[y]
+        if illegal:
+            return CertificateResult(
+                False,
+                "f_%d mentions %r outside its dependency set" %
+                (y, sorted(illegal)))
+
+    cnf = CNF(num_vars=instance.matrix.num_vars)
+    encoder = TseitinEncoder(cnf)
+    for y in instance.existentials:
+        encoder.assert_iff(y, functions[y])
+    solver = Solver(cnf, rng=rng)
+    for clause in instance.matrix:
+        remaining = None
+        if conflict_budget is not None:
+            remaining = conflict_budget - solver.conflicts
+            if remaining <= 0:
+                return CertificateResult(False,
+                                         "verification budget exhausted")
+        status = solver.solve(assumptions=[-lit for lit in clause],
+                              deadline=deadline, conflict_budget=remaining)
+        if status == SAT:
+            cex = {x: solver.model[x] for x in instance.universals}
+            return CertificateResult(
+                False, "functions violate the matrix", counterexample=cex)
+        if status != UNSAT:
+            return CertificateResult(False,
+                                     "verification budget exhausted")
+    return CertificateResult(True)
+
+
 def encode_verification_formula(instance, functions):
     """Build ``E(X, Y') = ¬ϕ(X, Y') ∧ (Y' ↔ f(X))`` as a CNF.
 

@@ -46,6 +46,7 @@ import threading
 import time
 from glob import glob
 
+from repro.cache import cache_lookup, cache_store, ensure_cache
 from repro.core.result import Status
 from repro.portfolio.leases import (
     DEFAULT_LEASE_DURATION,
@@ -124,6 +125,15 @@ class ElasticWorker:
         When this worker observes the campaign complete, fold every
         shard into the canonical store (atomic and idempotent — safe
         if several workers race to do it).
+    ``solution_cache``
+        A :class:`~repro.cache.store.SolutionCache` (or path) consulted
+        after claiming and before running each job: a re-certified hit
+        is published as the job's record immediately (the solve never
+        runs; ``summary["cache_hits"]`` counts them), misses run cold
+        and get the ``stats["cache"]`` miss block stamped, and decisive
+        certified outcomes are stored back.  The on-disk store uses the
+        same ``O_APPEND`` discipline as the lease log, so any number of
+        concurrent workers may share one cache path.
     """
 
     def __init__(self, instances, engines, store, worker_id=None,
@@ -132,7 +142,7 @@ class ElasticWorker:
                  lease_duration=DEFAULT_LEASE_DURATION, heartbeat=None,
                  drain_mode="release", progress=None, event_sink=None,
                  cancel=None, poll_interval=DEFAULT_POLL_INTERVAL,
-                 merge_on_complete=True):
+                 merge_on_complete=True, solution_cache=None):
         self.store_path = store.path if isinstance(store, CampaignStore) \
             else store
         self.worker_id = worker_id or default_worker_id()
@@ -161,6 +171,7 @@ class ElasticWorker:
         self.cancel = cancel
         self.poll_interval = poll_interval
         self.merge_on_complete = merge_on_complete
+        self.cache = ensure_cache(solution_cache)
         self.log = LeaseLog(lease_log_path(self.store_path))
         self._drain = threading.Event()
         self._current_cancel = None
@@ -216,8 +227,8 @@ class ElasticWorker:
 
         summary = {"worker_id": self.worker_id, "executed": 0,
                    "recovered": 0, "reclaimed": 0, "lost_claims": 0,
-                   "released": 0, "drained": False, "complete": False,
-                   "table": None}
+                   "released": 0, "cache_hits": 0, "drained": False,
+                   "complete": False, "table": None}
         try:
             while not self.draining:
                 now = time.time()
@@ -254,6 +265,30 @@ class ElasticWorker:
                     summary["recovered"] += 1
                     continue
 
+                cache_info = None
+                if self.cache is not None:
+                    # Consult the cache under the freshly held lease:
+                    # a re-certified hit publishes immediately and the
+                    # solve never runs.
+                    hit, cache_info = cache_lookup(
+                        self.cache, by_pair[target],
+                        certificate_budget=self.certificate_budget)
+                    if hit is not None:
+                        record = RunRecord(
+                            target[0], target[1], hit.status,
+                            hit.stats.get("wall_time", 0.0),
+                            reason=hit.reason, certified=True,
+                            stats=dict(hit.stats))
+                        stamp_worker_identity(record, self.worker_id)
+                        shard.append(record)
+                        own_records[target] = record
+                        self.log.complete(target, self.worker_id)
+                        summary["cache_hits"] += 1
+                        summary["executed"] += 1
+                        if self.progress is not None:
+                            self.progress(record)
+                        continue
+
                 token = CancellationToken()
                 self._current_cancel = token
                 if self.draining and self.drain_mode == "release":
@@ -265,6 +300,13 @@ class ElasticWorker:
                     self.log.release(target, self.worker_id)
                     summary["released"] += 1
                     break
+                if cache_info is not None:
+                    record.stats.setdefault("cache", dict(cache_info))
+                if self.cache is not None and record.result is not None \
+                        and record.certified is not False:
+                    cache_store(self.cache, by_pair[target],
+                                record.result)
+                record.result = None  # kept only for the store-back
                 stamp_worker_identity(record, self.worker_id)
                 shard.append(record)
                 own_records[target] = record
@@ -313,7 +355,8 @@ class ElasticWorker:
         try:
             return _execute_job(job, self.timeout, self.certify,
                                 self.certificate_budget,
-                                listener=listener, cancel=token)
+                                listener=listener, cancel=token,
+                                keep_result=self.cache is not None)
         except MemoryError:
             return RunRecord(engine_name, instance.name, Status.UNKNOWN,
                              0.0, reason="worker out of memory",

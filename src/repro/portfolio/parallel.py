@@ -639,7 +639,8 @@ def run_campaign(instances, engines, timeout=None, certify=True,
                  store=None, resume=False, progress=None,
                  kill_grace=DEFAULT_KILL_GRACE, event_sink=None,
                  cancel=None, keep_results=False, max_retries=0,
-                 retry_backoff=0.25, memory_limit_mb=None):
+                 retry_backoff=0.25, memory_limit_mb=None,
+                 solution_cache=None):
     """Run the full (engine × instance) campaign; return a ResultTable.
 
     ``engines`` entries may be engine *names* (strings) — built fresh
@@ -669,6 +670,15 @@ def run_campaign(instances, engines, timeout=None, certify=True,
     caps each worker's address space so an OOM becomes a clean UNKNOWN
     record instead of a crash (see :func:`_run_pool`).
 
+    ``solution_cache`` (a :class:`~repro.cache.store.SolutionCache` or
+    a path) is consulted once per instance *before* any job of that
+    instance is scheduled: a re-certified hit becomes the record of
+    every engine pair directly (``stats["cache"]["hit"] = True``,
+    ``certified=True``) without entering a worker, misses run cold
+    exactly as without a cache and have the miss's ``stats["cache"]``
+    block stamped onto their records, and the first certified decisive
+    cold outcome per instance is stored back.
+
     The returned table lists records in deterministic
     instance-major/engine-minor order regardless of completion order.
     """
@@ -676,6 +686,11 @@ def run_campaign(instances, engines, timeout=None, certify=True,
 
     if isinstance(store, str):
         store = CampaignStore(store)
+    cache = None
+    if solution_cache is not None:
+        from repro.cache import ensure_cache
+
+        cache = ensure_cache(solution_cache)
 
     instances = list(instances)
     specs = []
@@ -700,13 +715,41 @@ def run_campaign(instances, engines, timeout=None, certify=True,
         for record in store.iter_records():
             done[(record.engine, record.instance)] = record
 
+    # One cache lookup per instance that still has open jobs; a
+    # re-certified hit answers every engine pair of that instance.
+    cache_hits = {}  # instance name -> certified SynthesisResult
+    cache_info = {}  # instance name -> stats["cache"] block (hit | miss)
+    if cache is not None:
+        from repro.cache import cache_lookup, cache_store
+
+        for instance in instances:
+            if all((name, instance.name) in done
+                   for name, _engine, _spec in specs):
+                continue
+            hit, info = cache_lookup(
+                cache, instance, certificate_budget=certificate_budget)
+            cache_info[instance.name] = info
+            if hit is not None:
+                cache_hits[instance.name] = hit
+
     jobs_list = []
+    hit_records = []  # (emit key, record) answered without a worker
     slots = []  # (engine_name, instance_name) in canonical table order
     for instance in instances:
         for engine_name, engine, spec in specs:
             pair = (engine_name, instance.name)
             slots.append(pair)
             if pair in done:
+                continue
+            hit = cache_hits.get(instance.name)
+            if hit is not None:
+                record = RunRecord(
+                    engine_name, instance.name, hit.status,
+                    hit.stats.get("wall_time", 0.0), reason=hit.reason,
+                    certified=True, stats=dict(hit.stats),
+                    result=hit if keep_results else None)
+                hit_records.append((("cache",) + pair,
+                                    stamp_worker_identity(record)))
                 continue
             job_seed = (spec.job_seed(seed, instance.name)
                         if spec is not None
@@ -717,8 +760,20 @@ def run_campaign(instances, engines, timeout=None, certify=True,
                 engine=engine, instance=instance, seed=job_seed))
 
     executed = {}
+    by_name = {instance.name: instance for instance in instances}
+    stored_names = set()
 
     def emit(index, record):
+        if cache is not None:
+            info = cache_info.get(record.instance)
+            if info is not None:
+                record.stats.setdefault("cache", dict(info))
+            result = getattr(record, "result", None)
+            if result is not None and record.certified is not False \
+                    and record.instance not in stored_names \
+                    and not record.stats.get("cache", {}).get("hit"):
+                if cache_store(cache, by_name[record.instance], result):
+                    stored_names.add(record.instance)
         executed[index] = record
         # CANCELLED is not an outcome, it is the absence of one: never
         # persist it, so a resumed campaign re-executes exactly the
@@ -731,13 +786,20 @@ def run_campaign(instances, engines, timeout=None, certify=True,
     if store is not None:
         store.open(meta={"timeout": timeout, "seed": seed,
                          "certify": certify}, resume=resume)
+    # Cold results must reach the parent to be stored back, so a
+    # configured cache forces result-keeping on executed jobs (the
+    # records returned to a keep_results=False caller simply carry an
+    # extra .result attribute).
+    keep = keep_results or cache is not None
     try:
+        for key, record in hit_records:
+            emit(key, record)
         if jobs_list:
             if jobs > 1:
                 _run_pool(jobs_list, timeout, certify,
                           certificate_budget, jobs, kill_grace, emit,
                           event_sink=event_sink, cancel=cancel,
-                          keep_result=keep_results,
+                          keep_result=keep,
                           max_retries=max_retries,
                           retry_backoff=retry_backoff,
                           memory_limit_mb=memory_limit_mb)
@@ -745,7 +807,7 @@ def run_campaign(instances, engines, timeout=None, certify=True,
                 _run_serial(jobs_list, timeout, certify,
                             certificate_budget, emit,
                             event_sink=event_sink, cancel=cancel,
-                            keep_result=keep_results)
+                            keep_result=keep)
     finally:
         if store is not None:
             store.close()

@@ -120,6 +120,35 @@ def elastic_summary(table):
             "workers": workers}
 
 
+def cache_summary(table):
+    """Aggregate solution-cache accounting, or ``None``.
+
+    Reads the ``stats["cache"]`` block every cache-consulting entry
+    point stamps (``{"fingerprint", "hit", "certify_s"?, "evicted"?}``).
+    Campaigns run without a cache carry no such blocks and the report
+    omits the section entirely.
+    """
+    consulted = 0
+    hits = 0
+    evictions = 0
+    certify_s = 0.0
+    for record in table.records:
+        info = record.stats.get("cache")
+        if not isinstance(info, dict):
+            continue
+        consulted += 1
+        if info.get("hit"):
+            hits += 1
+            certify_s += info.get("certify_s", 0.0)
+        if info.get("evicted"):
+            evictions += 1
+    if not consulted:
+        return None
+    return {"consulted": consulted, "hits": hits,
+            "misses": consulted - hits, "evictions": evictions,
+            "certify_s": certify_s}
+
+
 def render_report(table, main_engine="manthan3", display_names=None,
                   slack=10.0):
     """Render the full evaluation report; returns a list of lines."""
@@ -202,6 +231,16 @@ def render_report(table, main_engine="manthan3", display_names=None,
             lines.append("  worker %-16s %d jobs" % (worker, count))
         lines.append("  reclaimed leases:  %d (of %d claims)"
                      % (elastic["reclaims"], elastic["claims"]))
+
+    cache = cache_summary(table)
+    if cache:
+        lines.append("")
+        lines.append("-- solution cache --")
+        lines.append("  hits / misses:     %d / %d"
+                     % (cache["hits"], cache["misses"]))
+        lines.append("  poisoned evicted:  %d" % cache["evictions"])
+        lines.append("  hit re-certify:    %.3f s total"
+                     % cache["certify_s"])
 
     lines.append("")
     lines.append("-- pairwise comparisons (Figures 7-10) --")

@@ -556,18 +556,23 @@ class Solver:
         self.learnts.sort(key=lambda c: c.activity)
         keep_from = len(self.learnts) // 2
         removed = set()
+        touched = set()
         kept = []
         for i, clause in enumerate(self.learnts):
             locked = self.reason[abs(clause.lits[0])] is clause
             if i < keep_from and len(clause.lits) > 2 and not locked:
                 removed.add(id(clause))
+                # Propagation keeps the watched literals in lits[0]/lits[1]
+                # (swaps are in place), so only these two lists can hold
+                # the clause — no need to sweep the whole watch table.
+                touched.add(self._widx(-clause.lits[0]))
+                touched.add(self._widx(-clause.lits[1]))
             else:
                 kept.append(clause)
         self.learnts = kept
-        if removed:
-            for idx in range(2, len(self.watches)):
-                self.watches[idx] = [c for c in self.watches[idx]
-                                     if id(c) not in removed]
+        for idx in touched:
+            self.watches[idx] = [c for c in self.watches[idx]
+                                 if id(c) not in removed]
 
     # ------------------------------------------------------------------
     # statistics

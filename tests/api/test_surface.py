@@ -39,14 +39,14 @@ FROZEN_SIGNATURES = {
     "Problem.load": "(source, fmt='auto')",
     "Solver.__init__":
         "(self, engine='manthan3', seed=None, phases=None, "
-        "overrides=None, config=None, name=None)",
+        "overrides=None, config=None, name=None, cache=None)",
     "Solver.solve": "(self, problem, timeout=None, cancel=None)",
     "Solver.solve_batch":
         "(self, problems, timeout=None, jobs=1, seed=None, "
         "certify=True, certificate_budget=200000, store=None, "
         "resume=False, progress=None, cancel=None, max_retries=0, "
         "retry_backoff=0.25, memory_limit_mb=None, elastic=False, "
-        "worker_id=None, lease_duration=30.0)",
+        "worker_id=None, lease_duration=30.0, solution_cache=None)",
     "Solver.subscribe": "(self, listener)",
     "Solver.unsubscribe": "(self, listener)",
     "Solution.to_verilog": "(self, module_name='henkin_patch')",
@@ -63,7 +63,7 @@ FROZEN_SIGNATURES = {
         "certify=True, certificate_budget=200000, store=None, "
         "resume=False, progress=None, cancel=None, max_retries=0, "
         "retry_backoff=0.25, memory_limit_mb=None, elastic=False, "
-        "worker_id=None, lease_duration=30.0)",
+        "worker_id=None, lease_duration=30.0, solution_cache=None)",
     "detect_format": "(text, path=None)",
 }
 

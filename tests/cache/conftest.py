@@ -1,0 +1,43 @@
+"""Shared helpers for the solution-cache test suite."""
+
+import random
+
+from repro.dqbf.instance import DQBFInstance
+from repro.formula.cnf import CNF
+
+
+def permuted_copy(instance, seed, name=None):
+    """A renaming-equivalent copy of ``instance`` plus the permutation.
+
+    Applies a random variable permutation, shuffles the universal
+    block, the existential (dependency-dict) order, clause order, and
+    literal order within clauses — every renaming-invariant degree of
+    freedom the fingerprint must see through.  Returns
+    ``(copy, pi)`` with ``pi = {old var: new var}``.
+    """
+    rng = random.Random(seed)
+    variables = list(instance.universals) + list(instance.existentials)
+    images = list(variables)
+    rng.shuffle(images)
+    pi = dict(zip(variables, images))
+
+    universals = [pi[x] for x in instance.universals]
+    rng.shuffle(universals)
+    existentials = list(instance.existentials)
+    rng.shuffle(existentials)
+    dependencies = {}
+    for y in existentials:
+        deps = [pi[x] for x in instance.dependencies[y]]
+        rng.shuffle(deps)
+        dependencies[pi[y]] = deps
+
+    clauses = []
+    for clause in instance.matrix:
+        lits = [(1 if lit > 0 else -1) * pi[abs(lit)] for lit in clause]
+        rng.shuffle(lits)
+        clauses.append(lits)
+    rng.shuffle(clauses)
+    cnf = CNF(clauses, num_vars=instance.matrix.num_vars)
+    return DQBFInstance(universals, dependencies, cnf,
+                        name=name or ((instance.name or "inst")
+                                      + "-perm%d" % seed)), pi

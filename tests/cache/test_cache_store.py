@@ -1,0 +1,162 @@
+"""Two-tier store: LRU behavior, disk roundtrips, and corruption."""
+
+import os
+
+from repro.cache.store import CacheEntry, SolutionCache
+from repro.core.result import Status
+from repro.formula import boolfunc as bf
+
+
+def xor_vector():
+    return {3: bf.var(1) ^ bf.var(2)}
+
+
+def assert_same_function(got, expected, variables=(1, 2)):
+    """Equality by exhaustive evaluation (AIGER roundtrips restructure)."""
+    n = len(variables)
+    for bits in range(1 << n):
+        env = {v: bool(bits >> i & 1) for i, v in enumerate(variables)}
+        assert got.evaluate(env) == expected.evaluate(env), env
+
+
+class TestMemoryTier:
+    def test_put_get_roundtrip(self):
+        cache = SolutionCache()
+        cache.put("d1", Status.SYNTHESIZED, functions=xor_vector())
+        entry = cache.get("d1")
+        assert entry.status == Status.SYNTHESIZED
+        assert_same_function(entry.functions[3], xor_vector()[3])
+        assert cache.counters["hits"] == 1
+        assert cache.get("missing") is None
+        assert cache.counters["misses"] == 1
+
+    def test_false_entries_carry_witnesses(self):
+        cache = SolutionCache()
+        cache.put("d1", Status.FALSE, witness={1: False, 2: True})
+        entry = cache.get("d1")
+        assert entry.status == Status.FALSE
+        assert entry.witness == {1: False, 2: True}
+
+    def test_lru_capacity_evicts_oldest(self):
+        cache = SolutionCache(max_memory_entries=2)
+        for i in range(3):
+            cache.put("d%d" % i, Status.FALSE, witness={1: bool(i)})
+        assert cache.get("d0") is None  # aged out
+        assert cache.get("d1") is not None
+        assert cache.get("d2") is not None
+
+    def test_get_refreshes_recency(self):
+        cache = SolutionCache(max_memory_entries=2)
+        cache.put("a", Status.FALSE, witness={1: True})
+        cache.put("b", Status.FALSE, witness={1: True})
+        cache.get("a")  # now most-recent
+        cache.put("c", Status.FALSE, witness={1: True})
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+
+    def test_only_decisive_statuses_are_cacheable(self):
+        import pytest
+
+        cache = SolutionCache()
+        with pytest.raises(ValueError):
+            cache.put("d1", Status.UNKNOWN)
+
+
+class TestDiskTier:
+    def test_synthesized_roundtrips_through_disk(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        SolutionCache(path).put("d1", Status.SYNTHESIZED,
+                                functions=xor_vector())
+        fresh = SolutionCache(path)
+        entry = fresh.get("d1")
+        assert entry.status == Status.SYNTHESIZED
+        assert_same_function(entry.functions[3], xor_vector()[3])
+        assert os.path.exists(os.path.join(path + ".payloads", "d1.aag"))
+
+    def test_false_roundtrips_through_disk(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        SolutionCache(path).put("d1", Status.FALSE,
+                                witness={4: True, 7: False})
+        entry = SolutionCache(path).get("d1")
+        assert entry.status == Status.FALSE
+        assert entry.witness == {4: True, 7: False}
+
+    def test_eviction_tombstones_persist(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        writer = SolutionCache(path)
+        writer.put("d1", Status.FALSE, witness={1: True})
+        writer.evict("d1")
+        assert SolutionCache(path).get("d1") is None
+
+    def test_last_writer_wins_on_replay(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        SolutionCache(path).put("d1", Status.FALSE, witness={1: False})
+        SolutionCache(path).put("d1", Status.FALSE, witness={1: True})
+        assert SolutionCache(path).get("d1").witness == {1: True}
+
+    def test_len_spans_both_tiers(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        SolutionCache(path).put("d1", Status.FALSE, witness={1: True})
+        cache = SolutionCache(path)
+        cache.put("d2", Status.FALSE, witness={1: True})
+        assert len(cache) == 2
+
+
+class TestCorruption:
+    def test_torn_tail_loses_only_itself(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        SolutionCache(path).put("d1", Status.FALSE, witness={1: True})
+        with open(path, "ab") as handle:  # killed writer mid-append
+            handle.write(b'{"type": "entry", "fp": "d2", "sta')
+        survivor = SolutionCache(path)
+        assert survivor.get("d1") is not None
+        assert survivor.get("d2") is None
+        # the next append starts a fresh line past the torn bytes
+        survivor.put("d3", Status.FALSE, witness={1: False})
+        fresh = SolutionCache(path)
+        assert fresh.get("d1") is not None
+        assert fresh.get("d3") is not None
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        SolutionCache(path).put("d1", Status.FALSE, witness={1: True})
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\xffnot json\n")
+            handle.write(b'"a bare string"\n')
+            handle.write(b'{"type": "entry", "fp": 42}\n')
+        assert SolutionCache(path).get("d1") is not None
+
+    def test_missing_payload_degrades_to_evicted_miss(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        SolutionCache(path).put("d1", Status.SYNTHESIZED,
+                                functions=xor_vector())
+        os.remove(os.path.join(path + ".payloads", "d1.aag"))
+        reader = SolutionCache(path)
+        assert reader.get("d1") is None
+        assert reader.counters["evictions"] == 1
+        # the tombstone means later readers never retry the corpse
+        assert SolutionCache(path).get("d1") is None
+
+    def test_corrupt_payload_degrades_to_evicted_miss(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        SolutionCache(path).put("d1", Status.SYNTHESIZED,
+                                functions=xor_vector())
+        with open(os.path.join(path + ".payloads", "d1.aag"), "w") as f:
+            f.write("aag 0 garbage\n")
+        assert SolutionCache(path).get("d1") is None
+
+    def test_malformed_witness_degrades_to_evicted_miss(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        cache = SolutionCache(path)
+        cache._append({"type": "entry", "fp": "d1", "status": "FALSE",
+                       "witness": {"not-an-int": True}})
+        assert SolutionCache(path).get("d1") is None
+
+
+class TestEntryRepr:
+    def test_reprs_are_informative(self, tmp_path):
+        assert "FALSE" in repr(CacheEntry(Status.FALSE, witness={}))
+        path = str(tmp_path / "cache.jsonl")
+        cache = SolutionCache(path)
+        cache.put("d1", Status.FALSE, witness={1: True})
+        assert "1 entries" in repr(cache)

@@ -102,3 +102,60 @@ class TestLearntClauseManagement:
             # tiny learnt budget: force aggressive reduction
             status = solver.solve()
             assert (status == SAT) == expected
+
+    def _solver_with_learnts(self, seed=3):
+        """A solved solver holding plenty of wide learnt clauses."""
+        rng = random.Random(seed)
+        for attempt in range(20):
+            # uniform 3-SAT near the phase transition: conflict-rich,
+            # unlike random_cnf whose unit clauses kill search early
+            cnf = CNF(num_vars=30)
+            for _ in range(128):
+                chosen = rng.sample(range(1, 31), 3)
+                cnf.add_clause([v if rng.random() < 0.5 else -v
+                                for v in chosen])
+            solver = Solver(cnf, rng=attempt)
+            solver.solve()
+            if sum(1 for c in solver.learnts if len(c.lits) > 2) >= 6:
+                return solver
+        raise AssertionError("could not provoke enough learnt clauses")
+
+    def test_reduce_db_sweeps_only_touched_watch_lists(self):
+        """The targeted sweep drops removed clauses without rebuilding
+        watch lists that never held one."""
+        solver = self._solver_with_learnts()
+        before = list(solver.watches)
+        removable = {id(c) for i, c in enumerate(
+                         sorted(solver.learnts, key=lambda c: c.activity))
+                     if i < len(solver.learnts) // 2
+                     and len(c.lits) > 2
+                     and solver.reason[abs(c.lits[0])] is not c}
+        touched = set()
+        for clause in solver.learnts:
+            if id(clause) in removable:
+                touched.add(solver._widx(-clause.lits[0]))
+                touched.add(solver._widx(-clause.lits[1]))
+        assert removable, "reduction should have something to remove"
+        solver._reduce_db()
+        # removed clauses are gone from every watch list
+        surviving = {id(c) for c in solver.clauses}
+        surviving |= {id(c) for c in solver.learnts}
+        for lists in solver.watches[2:]:
+            for clause in lists:
+                assert id(clause) in surviving
+        # untouched lists were left alone, not rebuilt
+        for idx in range(2, len(solver.watches)):
+            if idx not in touched:
+                assert solver.watches[idx] is before[idx]
+        # surviving clauses are still watched exactly where they claim
+        for clause in solver.learnts:
+            if len(clause.lits) > 1:
+                assert clause in solver.watches[solver._widx(-clause.lits[0])]
+                assert clause in solver.watches[solver._widx(-clause.lits[1])]
+        # and the solver still answers correctly afterwards
+        status = solver.solve()
+        assert status in (SAT, UNSAT)
+        if status == SAT:
+            for clause in solver.clauses:
+                assert any((l > 0) == solver.model[abs(l)]
+                           for l in clause.lits)
